@@ -1,0 +1,111 @@
+// Command cdbbench regenerates the paper's evaluation (§5.4): it builds
+// the joint and separate indexing structures over the published workload
+// distributions and reports disk accesses per query, bucketed the way
+// Figures 4 and 5 plot them.
+//
+// Usage:
+//
+//	cdbbench                    # all experiments at paper scale (10,000 boxes)
+//	cdbbench -expt fig4         # only Figure 4 (expts 1-A and 1-B)
+//	cdbbench -expt fig5         # only Figure 5 (expts 2-A and 2-B)
+//	cdbbench -expt exp3         # the 500-query mixed workload
+//	cdbbench -expt corner       # the §5.3 corner case
+//	cdbbench -scale 10          # 1/10th of the data for a quick run
+//	cdbbench -page 512          # page (node) size in bytes
+//	cdbbench -buckets 8         # plot buckets per series
+//	cdbbench -verify            # check the paper's qualitative claims
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cdb/internal/datagen"
+	"cdb/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "cdbbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("cdbbench", flag.ContinueOnError)
+	expt := fs.String("expt", "all", "experiment: fig4 | fig5 | exp3 | corner | all")
+	scale := fs.Int("scale", 1, "shrink factor for the workload (1 = paper scale)")
+	page := fs.Int("page", 4096, "page size in bytes (one R*-tree node per page)")
+	buckets := fs.Int("buckets", 8, "buckets per rendered series")
+	seed := fs.Int64("seed", 0, "override the workload seed (0 = default)")
+	verify := fs.Bool("verify", false, "verify the paper's qualitative claims against the measurements")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	p := datagen.Scaled(*scale)
+	if *seed != 0 {
+		p.Seed = *seed
+	}
+	fmt.Printf("workload: %d boxes, %d queries, coords [0,%g], sizes [%g,%g], seed %d, page %d bytes\n\n",
+		p.NumData, p.NumQueries, p.CoordMax, p.SizeMin, p.SizeMax, p.Seed, *page)
+
+	var f4a, f4b, f5a, f5b, corner experiments.Series
+	var err error
+	show := func(s experiments.Series) {
+		fmt.Println(s.Render(*buckets))
+	}
+	wantAll := *expt == "all" || *verify
+
+	if *expt == "fig4" || wantAll {
+		if f4a, err = experiments.Figure4A(p, *page); err != nil {
+			return err
+		}
+		show(f4a)
+		if f4b, err = experiments.Figure4B(p, *page); err != nil {
+			return err
+		}
+		show(f4b)
+	}
+	if *expt == "fig5" || wantAll {
+		if f5a, err = experiments.Figure5A(p, *page); err != nil {
+			return err
+		}
+		show(f5a)
+		if f5b, err = experiments.Figure5B(p, *page); err != nil {
+			return err
+		}
+		show(f5b)
+	}
+	if *expt == "exp3" || wantAll {
+		e3, err := experiments.Experiment3(p, *page)
+		if err != nil {
+			return err
+		}
+		show(e3)
+	}
+	if *expt == "corner" || wantAll {
+		if corner, err = experiments.Corner(p, *page); err != nil {
+			return err
+		}
+		show(corner)
+	}
+	switch *expt {
+	case "fig4", "fig5", "exp3", "corner", "all":
+	default:
+		return fmt.Errorf("unknown experiment %q", *expt)
+	}
+
+	if *verify {
+		bad := experiments.VerifyShapes(f4a, f4b, f5a, f5b, corner)
+		if len(bad) == 0 {
+			fmt.Println("shape verification: all of the paper's qualitative claims hold on this run")
+		} else {
+			for _, b := range bad {
+				fmt.Println("shape violation:", b)
+			}
+			return fmt.Errorf("%d shape violations", len(bad))
+		}
+	}
+	return nil
+}

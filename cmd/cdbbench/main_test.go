@@ -1,0 +1,29 @@
+package main
+
+import "testing"
+
+func TestRunSingleExperiments(t *testing.T) {
+	for _, expt := range []string{"fig4", "fig5", "exp3", "corner"} {
+		if err := run([]string{"-expt", expt, "-scale", "50", "-page", "512"}); err != nil {
+			t.Errorf("%s: %v", expt, err)
+		}
+	}
+}
+
+func TestRunVerifySmallScale(t *testing.T) {
+	// At 1/5 scale (2,000 boxes) with 512-byte pages every qualitative
+	// claim holds. (Below ~1,000 boxes the secondary "advantage size"
+	// claim gets noisy — see the page-size note in EXPERIMENTS.md.)
+	if err := run([]string{"-verify", "-scale", "5", "-page", "512", "-buckets", "4"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-expt", "nonsense", "-scale", "100"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := run([]string{"-badflag"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

@@ -1,0 +1,253 @@
+// Command cqacdb is the CQA/CDB shell: it loads a constraint database
+// (text format, see internal/db) and executes query programs written in
+// the paper's ASCII query language, either from files, from -e, or
+// interactively.
+//
+// Usage:
+//
+//	cqacdb -demo hurricane                  # interactive shell on the case study
+//	cqacdb -db parcels.cqa script.cqa       # run a script
+//	cqacdb -db parcels.cqa -e 'R = select x >= 5 from Land'
+//
+// Interactive commands (besides query statements "Name = ..."):
+//
+//	\list            list relations
+//	\show NAME       print a relation
+//	\schema NAME     print a relation's schema
+//	\svg R FILE      render a spatial relation to an SVG file
+//	\save PATH       save the database (including session results)
+//	\quit            exit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"cdb/internal/calculus"
+	"cdb/internal/db"
+	"cdb/internal/hurricane"
+	"cdb/internal/query"
+	"cdb/internal/relation"
+	"cdb/internal/render"
+	"cdb/internal/schema"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "cqacdb:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("cqacdb", flag.ContinueOnError)
+	dbPath := fs.String("db", "", "database file to load (text format)")
+	demo := fs.String("demo", "", "load a built-in demo database (hurricane)")
+	expr := fs.String("e", "", "execute one query program and print the result")
+	rules := fs.String("rules", "", "execute one declarative rule program (calculus front end)")
+	maxRows := fs.Int("rows", 50, "maximum tuples to print per relation")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var d *db.Database
+	switch {
+	case *demo == "hurricane":
+		d = hurricane.Build()
+		fmt.Println("loaded demo database: hurricane (§3.3 case study)")
+	case *demo != "":
+		return fmt.Errorf("unknown demo %q (try: hurricane)", *demo)
+	case *dbPath != "":
+		var err error
+		d, err = db.LoadFile(*dbPath)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("loaded %s: relations %s\n", *dbPath, strings.Join(d.Names(), ", "))
+	default:
+		d = db.New()
+	}
+
+	if *expr != "" {
+		out, err := d.Run(*expr)
+		if err != nil {
+			return err
+		}
+		printRelation(out, *maxRows)
+		return nil
+	}
+	if *rules != "" {
+		prog, err := calculus.Parse(*rules)
+		if err != nil {
+			return err
+		}
+		out, err := prog.Run(d.Env())
+		if err != nil {
+			return err
+		}
+		printRelation(out, *maxRows)
+		return nil
+	}
+	if fs.NArg() > 0 {
+		for _, path := range fs.Args() {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				return err
+			}
+			out, err := d.Run(string(src))
+			if err != nil {
+				return fmt.Errorf("%s: %w", path, err)
+			}
+			fmt.Printf("== %s ==\n", path)
+			printRelation(out, *maxRows)
+		}
+		return nil
+	}
+	return repl(d, *maxRows, os.Stdin, os.Stdout)
+}
+
+func repl(d *db.Database, maxRows int, in io.Reader, out io.Writer) error {
+	fmt.Fprintln(out, "CQA/CDB shell. Statements: Name = select ... | \\list \\show R \\schema R \\save PATH \\quit")
+	sc := bufio.NewScanner(in)
+	for {
+		fmt.Fprint(out, "cqa> ")
+		if !sc.Scan() {
+			fmt.Fprintln(out)
+			return sc.Err()
+		}
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			continue
+		case line == `\quit` || line == `\q`:
+			return nil
+		case line == `\list` || line == `\l`:
+			for _, name := range d.Names() {
+				r, _ := d.Get(name)
+				fmt.Fprintf(out, "  %-16s %3d tuples  %s\n", name, r.Len(), r.Schema())
+			}
+		case strings.HasPrefix(line, `\show `):
+			name := strings.TrimSpace(strings.TrimPrefix(line, `\show `))
+			if r, ok := d.Get(name); ok {
+				fprintRelation(out, r, maxRows)
+			} else {
+				fmt.Fprintf(out, "no relation %q\n", name)
+			}
+		case strings.HasPrefix(line, `\schema `):
+			name := strings.TrimSpace(strings.TrimPrefix(line, `\schema `))
+			if r, ok := d.Get(name); ok {
+				fmt.Fprintln(out, r.Schema())
+			} else {
+				fmt.Fprintf(out, "no relation %q\n", name)
+			}
+		case strings.HasPrefix(line, `\svg `):
+			args := strings.Fields(strings.TrimPrefix(line, `\svg `))
+			if len(args) != 2 {
+				fmt.Fprintln(out, `usage: \svg RELATION FILE.svg`)
+				continue
+			}
+			r, ok := d.Get(args[0])
+			if !ok {
+				fmt.Fprintf(out, "no relation %q\n", args[0])
+				continue
+			}
+			fid, x, y, derr := deduceSpatialShell(r)
+			if derr != nil {
+				fmt.Fprintln(out, derr)
+				continue
+			}
+			svg, rerr := render.Relation(r, fid, x, y, render.Options{})
+			if rerr != nil {
+				fmt.Fprintln(out, rerr)
+				continue
+			}
+			if werr := os.WriteFile(args[1], []byte(svg), 0o644); werr != nil {
+				fmt.Fprintln(out, werr)
+				continue
+			}
+			fmt.Fprintln(out, "wrote", args[1])
+		case strings.HasPrefix(line, `\save `):
+			path := strings.TrimSpace(strings.TrimPrefix(line, `\save `))
+			if err := d.SaveFile(path); err != nil {
+				fmt.Fprintln(out, "save failed:", err)
+			} else {
+				fmt.Fprintln(out, "saved", path)
+			}
+		case strings.HasPrefix(line, `\`):
+			fmt.Fprintf(out, "unknown command %q\n", line)
+		default:
+			prog, err := query.Parse(line)
+			if err != nil {
+				fmt.Fprintln(out, err)
+				continue
+			}
+			res, err := prog.RunOptimized(d.Env())
+			if err != nil {
+				fmt.Fprintln(out, err)
+				continue
+			}
+			// Persist every statement's target so later lines can build on
+			// earlier ones.
+			for _, st := range prog.Stmts {
+				if r, err := evalTo(d, prog, st.Target); err == nil {
+					_ = d.Put(st.Target, r)
+				}
+			}
+			last := prog.Stmts[len(prog.Stmts)-1].Target
+			_ = d.Put(last, res)
+			fprintRelation(out, res, maxRows)
+		}
+	}
+}
+
+// evalTo re-evaluates the program prefix ending at the statement defining
+// target (cheap at shell scale; keeps the session environment coherent).
+func evalTo(d *db.Database, prog *query.Program, target string) (*relation.Relation, error) {
+	var prefix query.Program
+	for _, st := range prog.Stmts {
+		prefix.Stmts = append(prefix.Stmts, st)
+		if st.Target == target {
+			break
+		}
+	}
+	return prefix.RunOptimized(d.Env())
+}
+
+func printRelation(r *relation.Relation, maxRows int) {
+	fprintRelation(os.Stdout, r, maxRows)
+}
+
+func fprintRelation(w io.Writer, r *relation.Relation, maxRows int) {
+	fmt.Fprintln(w, r.Schema())
+	tuples := r.Sorted()
+	for i, t := range tuples {
+		if i >= maxRows {
+			fmt.Fprintf(w, "  ... (%d more tuples)\n", len(tuples)-maxRows)
+			break
+		}
+		fmt.Fprintf(w, "  %s\n", t)
+	}
+	fmt.Fprintf(w, "(%d tuples)\n", len(tuples))
+}
+
+// deduceSpatialShell finds the (fid, x, y) triple of a spatial relation
+// for the \svg command.
+func deduceSpatialShell(r *relation.Relation) (fid, x, y string, err error) {
+	var fids, cons []string
+	for _, a := range r.Schema().Attrs() {
+		switch {
+		case a.Kind == schema.Relational && a.Type == schema.String:
+			fids = append(fids, a.Name)
+		case a.Kind == schema.Constraint:
+			cons = append(cons, a.Name)
+		}
+	}
+	if len(fids) != 1 || len(cons) != 2 {
+		return "", "", "", fmt.Errorf("not a spatial relation (need 1 string id + 2 constraint attrs): %s", r.Schema())
+	}
+	return fids[0], cons[0], cons[1], nil
+}

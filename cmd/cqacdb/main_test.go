@@ -1,0 +1,128 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cdb/internal/db"
+	"cdb/internal/hurricane"
+)
+
+func TestRunEvalFlag(t *testing.T) {
+	if err := run([]string{"-demo", "hurricane", "-e",
+		"R = select landId = A from Landownership"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunScriptFile(t *testing.T) {
+	dir := t.TempDir()
+	dbPath := filepath.Join(dir, "h.cqa")
+	if err := hurricane.Build().SaveFile(dbPath); err != nil {
+		t.Fatal(err)
+	}
+	script := filepath.Join(dir, "q.cqa")
+	if err := os.WriteFile(script, []byte(hurricane.Queries()[2].Text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-db", dbPath, script}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-demo", "nope"}); err == nil {
+		t.Error("unknown demo accepted")
+	}
+	if err := run([]string{"-db", "/no/such/file.cqa", "-e", "R = X"}); err == nil {
+		t.Error("missing db file accepted")
+	}
+	if err := run([]string{"-demo", "hurricane", "-e", "R = select from X"}); err == nil {
+		t.Error("bad query accepted")
+	}
+	if err := run([]string{"-demo", "hurricane", "/no/such/script.cqa"}); err == nil {
+		t.Error("missing script accepted")
+	}
+}
+
+func TestREPLSession(t *testing.T) {
+	d := hurricane.Build()
+	savePath := filepath.Join(t.TempDir(), "session.cqa")
+	in := strings.NewReader(strings.Join([]string{
+		`\list`,
+		`R0 = select landId = A from Landownership`,
+		`R1 = project R0 on name`,
+		`\show R1`,
+		`\schema Land`,
+		`\show Missing`,
+		`\schema Missing`,
+		`\badcmd`,
+		`R2 = select broken ===`,
+		`R3 = select z = 1 from Land`,
+		``,
+		`\save ` + savePath,
+		`\quit`,
+	}, "\n"))
+	var out bytes.Buffer
+	if err := repl(d, 10, in, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"Landownership",               // \list
+		`name="ann"`,                  // query result
+		"[landId: string, relational", // \schema Land
+		`no relation "Missing"`,
+		`unknown command`,
+		"saved " + savePath,
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("repl output missing %q:\n%s", want, got)
+		}
+	}
+	// The session's intermediate results were persisted and saved.
+	re, err := db.LoadFile(savePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := re.Get("R1"); !ok {
+		t.Errorf("session result R1 not saved; relations: %v", re.Names())
+	}
+	// EOF without \quit is a clean exit.
+	var out2 bytes.Buffer
+	if err := repl(d, 10, strings.NewReader("\\list\n"), &out2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestREPLSvgCommand(t *testing.T) {
+	d := hurricane.Build()
+	svgPath := filepath.Join(t.TempDir(), "land.svg")
+	in := strings.NewReader(strings.Join([]string{
+		`\svg Land ` + svgPath,
+		`\svg Landownership ` + svgPath, // not spatial: error message, no crash
+		`\svg Missing ` + svgPath,
+		`\svg toofewargs`,
+		`\quit`,
+	}, "\n"))
+	var out bytes.Buffer
+	if err := repl(d, 10, in, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(svgPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "<svg") {
+		t.Error("svg file malformed")
+	}
+	got := out.String()
+	for _, want := range []string{"wrote " + svgPath, "not a spatial relation", `no relation "Missing"`, "usage:"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}

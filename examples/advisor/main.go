@@ -1,0 +1,79 @@
+// Advisor: solving the paper's §5 open problem empirically.
+//
+// "Given a constraint relation over attributes X = {x1, ..., xk},
+//
+//	determine a set of subsets of X that should correspond to indices
+//	over X, with one index per subset."
+//
+// This example builds a 3-attribute relation (think: x, y, t of a
+// spatiotemporal relation) and three different workloads, and lets the
+// advisor enumerate every attribute partition, replay the workload on
+// each, and report the measured disk-access costs.
+//
+// Run: go run ./examples/advisor
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"cdb"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(2003))
+	const n = 3000
+
+	// Data: 3-D boxes — two spatial extents plus a time interval.
+	var data []cdb.Rect
+	for i := 0; i < n; i++ {
+		x, y, t := rng.Float64()*3000, rng.Float64()*3000, rng.Float64()*3000
+		w, h, d := 1+rng.Float64()*99, 1+rng.Float64()*99, 1+rng.Float64()*99
+		r, err := cdb.NewRect([]float64{x, y, t}, []float64{x + w, y + h, t + d})
+		if err != nil {
+			log.Fatal(err)
+		}
+		data = append(data, r)
+	}
+
+	workloads := map[string][]cdb.Rect{}
+	// Workload 1: spatial window queries (x and y together, t free).
+	for i := 0; i < 40; i++ {
+		lx, ly := rng.Float64()*2900, rng.Float64()*2900
+		workloads["spatial windows (x,y)"] = append(workloads["spatial windows (x,y)"],
+			cdb.UnboundedQuery(3, map[int][2]float64{0: {lx, lx + 100}, 1: {ly, ly + 100}}))
+	}
+	// Workload 2: pure time-slice queries.
+	for i := 0; i < 40; i++ {
+		lt := rng.Float64() * 2900
+		workloads["time slices (t)"] = append(workloads["time slices (t)"],
+			cdb.UnboundedQuery(3, map[int][2]float64{2: {lt, lt + 50}}))
+	}
+	// Workload 3: spatiotemporal boxes (all three).
+	for i := 0; i < 40; i++ {
+		lx, ly, lt := rng.Float64()*2900, rng.Float64()*2900, rng.Float64()*2900
+		workloads["spatiotemporal boxes (x,y,t)"] = append(workloads["spatiotemporal boxes (x,y,t)"],
+			cdb.UnboundedQuery(3, map[int][2]float64{
+				0: {lx, lx + 150}, 1: {ly, ly + 150}, 2: {lt, lt + 150}}))
+	}
+
+	for _, name := range []string{"spatial windows (x,y)", "time slices (t)", "spatiotemporal boxes (x,y,t)"} {
+		adv, err := cdb.AdviseIndexes(3, data, workloads[name], 512, cdb.RStarOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("workload: %s\n", name)
+		for i, c := range adv.Candidates {
+			marker := "  "
+			if i == 0 {
+				marker = "->"
+			}
+			fmt.Printf("  %s %-18s %7d accesses\n", marker, c, c.Accesses)
+		}
+		fmt.Println()
+	}
+	fmt.Println("(x0, x1 = spatial attributes; x2 = time)")
+	fmt.Println("The advisor derives the paper's §5.4 findings instead of asserting them:")
+	fmt.Println("co-queried attributes belong in one joint index; never-co-queried ones apart.")
+}

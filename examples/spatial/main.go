@@ -1,0 +1,104 @@
+// Spatial: the §4 whole-feature operators on a synthetic city.
+//
+// Builds feature layers (hospitals as points, roads as polylines,
+// districts as polygons — one concave), runs Buffer-Join and k-Nearest,
+// and shows why these operators are *safe* while raw distance is not:
+// every comparison happens on exact squared distances, and the results
+// are plain relations over feature IDs.
+//
+// Run: go run ./examples/spatial
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cdb"
+)
+
+func main() {
+	// Districts: two rectangles and one concave L-shaped district.
+	districts := cdb.NewLayer("districts")
+	addRegion := func(id string, verts ...cdb.Point) {
+		p, err := cdb.NewPolygon(verts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		districts.MustAdd(cdb.Feature{ID: id, Geom: cdb.RegionGeom(p)})
+	}
+	addRegion("old-town", cdb.Pt(0, 0), cdb.Pt(40, 0), cdb.Pt(40, 40), cdb.Pt(0, 40))
+	addRegion("harbour", cdb.Pt(60, 0), cdb.Pt(100, 0), cdb.Pt(100, 30), cdb.Pt(60, 30))
+	addRegion("riverside", // concave L
+		cdb.Pt(0, 60), cdb.Pt(50, 60), cdb.Pt(50, 80),
+		cdb.Pt(20, 80), cdb.Pt(20, 100), cdb.Pt(0, 100))
+
+	// Roads.
+	roads := cdb.NewLayer("roads")
+	addRoad := func(id string, verts ...cdb.Point) {
+		l, err := cdb.NewPolyline(verts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		roads.MustAdd(cdb.Feature{ID: id, Geom: cdb.LineGeom(l)})
+	}
+	addRoad("main-st", cdb.Pt(50, -10), cdb.Pt(50, 110))  // between old-town and harbour
+	addRoad("shore-rd", cdb.Pt(-10, 50), cdb.Pt(110, 50)) // between old-town and riverside
+	addRoad("diagonal", cdb.Pt(90, 90), cdb.Pt(120, 120)) // far corner
+
+	// Hospitals.
+	hospitals := cdb.NewLayer("hospitals")
+	for _, h := range []struct {
+		id   string
+		x, y int64
+	}{
+		{"st-mary", 45, 45}, {"general", 95, 10}, {"north", 10, 95}, {"east", 105, 55},
+	} {
+		hospitals.MustAdd(cdb.Feature{ID: h.id, Geom: cdb.PointGeom(cdb.Pt(h.x, h.y))})
+	}
+
+	// Buffer-Join: districts within distance 12 of each road — "which
+	// districts does each road serve?" (cf. the paper's Example 5: the
+	// area within 5 miles of the hurricane's path).
+	twelve := cdb.RatFromInt(12)
+	pairs, err := cdb.BufferJoin(roads, districts, twelve)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Buffer-Join(roads, districts, 12):")
+	for _, p := range pairs {
+		fmt.Printf("  %-10s serves %s\n", p.Left, p.Right)
+	}
+
+	// The same operator at an exact boundary: old-town ends at x=40,
+	// main-st runs at x=50 — distance exactly 10. Included at 10,
+	// excluded at 9999/1000. No epsilon anywhere.
+	ten := cdb.RatFromInt(10)
+	almostTen := cdb.MustRat("9999/1000")
+	at10, _ := cdb.BufferJoin(roads, districts, ten)
+	at999, _ := cdb.BufferJoin(roads, districts, almostTen)
+	fmt.Printf("\nexact boundary: %d pairs at distance 10, %d at 9.999\n", len(at10), len(at999))
+
+	// k-Nearest: the 2 hospitals nearest each district's centre of
+	// interest (cf. Example 6).
+	fmt.Println("\nk-Nearest(hospitals, district, k=2):")
+	for _, d := range districts.Features() {
+		ns, err := cdb.KNearest(hospitals, d.Geom, 2)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-10s ->", d.ID)
+		for _, n := range ns {
+			fmt.Printf("  %s (sqdist %s)", n.ID, n.SqDist)
+		}
+		fmt.Println()
+	}
+
+	// Safety (§2.4/§4): the operators above returned *relations over
+	// feature IDs* — representable, closed, safe. The distance itself is
+	// irrational in general; printing it requires leaving the constraint
+	// class (display only):
+	st, _ := hospitals.Get("st-mary")
+	ot, _ := districts.Get("old-town")
+	fmt.Printf("\ndisplay-only distance st-mary -> old-town: %.6f (sqdist is the exact object: %s)\n",
+		cdb.DistanceApprox(st.Geom, ot.Geom), cdb.SqDist(st.Geom, ot.Geom))
+}

@@ -1,0 +1,132 @@
+// Vector: the §6 argument — taking constraints out of CDBs.
+//
+// Shows the same spatial feature in both middle-layer representations:
+// as rational linear constraint tuples and as a vertex list; converts
+// losslessly in both directions; demonstrates the two redundancies §6
+// identifies in the constraint form; and reproduces Example 8
+// (projection by coordinate extrema on the vector side vs.
+// Fourier-Motzkin elimination on the constraint side).
+//
+// Run: go run ./examples/vector
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cdb/internal/constraint"
+	"cdb/internal/convert"
+	"cdb/internal/geometry"
+	"cdb/internal/rational"
+)
+
+func main() {
+	// A concave lake outline (an L-shape): the vector representation is
+	// one vertex ring.
+	lake := geometry.MustPolygon(
+		geometry.Pt(0, 0), geometry.Pt(8, 0), geometry.Pt(8, 3),
+		geometry.Pt(4, 3), geometry.Pt(4, 6), geometry.Pt(0, 6))
+	fmt.Println("vector form (one vertex ring):")
+	fmt.Printf("  %s  (area %s)\n\n", lake, lake.Area())
+
+	// Constraint form: a union of convex constraint tuples (§6: "the
+	// constraint data model requires us to represent this feature as a
+	// union of convex polyhedra").
+	tuples, err := convert.PolygonToConjunctions(lake, "x", "y")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("constraint form (%d convex tuples):\n", len(tuples))
+	for i, j := range tuples {
+		fmt.Printf("  tuple %d: %s\n", i+1, j)
+	}
+
+	// Redundancy 2 (§6): "the constraints representing the boundaries of
+	// each ... convex polyhedron are the same as for the tuples
+	// representing neighboring ... polyhedra". Count repeated constraint
+	// keys across tuples.
+	// Two neighbouring tuples share a boundary *line* (each sees it from
+	// the opposite side), so count distinct supporting lines: the key of
+	// the constraint's boundary equality.
+	seen := map[string]int{}
+	for _, j := range tuples {
+		for _, c := range j.Constraints() {
+			line := constraint.Constraint{Expr: c.Expr, Op: constraint.Eq}
+			seen[line.Key()]++
+		}
+	}
+	shared := 0
+	for _, n := range seen {
+		if n > 1 {
+			shared++
+		}
+	}
+	fmt.Printf("\nboundary lines stored by more than one tuple: %d (the §6 type-2 redundancy)\n\n", shared)
+
+	// Example 8: projection onto x. Vector side: take the extrema of the
+	// vertex x-coordinates. Constraint side: eliminate y by
+	// Fourier-Motzkin from every tuple and combine.
+	minX, _, maxX, _ := lake.BBox()
+	fmt.Printf("Example 8 — projection onto x:\n")
+	fmt.Printf("  vector side (coordinate extrema):        [%s, %s]\n", minX, maxX)
+
+	lo, hi, ok := projectUnion(tuples, "x")
+	if !ok {
+		log.Fatal("constraint-side projection empty")
+	}
+	fmt.Printf("  constraint side (Fourier-Motzkin):       [%s, %s]\n", lo, hi)
+	if !lo.Equal(minX) || !hi.Equal(maxX) {
+		log.Fatal("representations disagree!")
+	}
+	fmt.Println("  both representations agree exactly.")
+
+	// Reverse conversion (§6: display requires constraints -> vertices).
+	fmt.Println("\nreverse conversion (constraint tuples back to vertex lists):")
+	var total = constraintAreaSum(tuples)
+	fmt.Printf("  sum of reconstructed piece areas: %s (lake area %s)\n", total, lake.Area())
+
+	// A linear feature: the three-constraint-per-segment form.
+	river := geometry.MustPolyline(geometry.Pt(-2, 7), geometry.Pt(3, 9), geometry.Pt(9, 8))
+	segTuples := convert.PolylineToConjunctions(river, "x", "y")
+	fmt.Printf("\nriver %s\nas %d constraint tuples (one per segment):\n", river, len(segTuples))
+	for i, j := range segTuples {
+		fmt.Printf("  tuple %d: %s\n", i+1, j)
+	}
+	back, err := convert.ConjunctionToSegment(segTuples[0], "x", "y")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("first tuple converts back to segment %s\n", back)
+}
+
+// projectUnion projects a union of conjunctions onto one variable by
+// Fourier-Motzkin elimination and returns the combined closed range.
+func projectUnion(tuples []constraint.Conjunction, v string) (lo, hi rational.Rat, ok bool) {
+	first := true
+	for _, j := range tuples {
+		iv, sat := j.VarBounds(v)
+		if !sat || !iv.HasLower || !iv.HasUpper {
+			continue
+		}
+		if first {
+			lo, hi, first = iv.Lower, iv.Upper, false
+			continue
+		}
+		lo = rational.Min(lo, iv.Lower)
+		hi = rational.Max(hi, iv.Upper)
+	}
+	return lo, hi, !first
+}
+
+// constraintAreaSum reconstructs each tuple's polygon and sums the areas.
+func constraintAreaSum(tuples []constraint.Conjunction) string {
+	total := rational.Zero
+	for _, j := range tuples {
+		poly, err := convert.ConjunctionToPolygon(j, "x", "y")
+		if err != nil {
+			log.Fatal(err)
+		}
+		total = total.Add(poly.Area())
+	}
+	return total.String()
+}

@@ -1,0 +1,46 @@
+package calculus
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestRuleParserNeverPanics mutates valid rule programs byte-wise and
+// asserts graceful failure.
+func TestRuleParserNeverPanics(t *testing.T) {
+	seeds := []string{
+		`owned(name, t) :- Landownership(name, t, id), id = "A".`,
+		`a(x) :- R(x, _, 3/2), x + 2y <= 7, S(y).`,
+		`p(v) :- T(6, v), v != -1.`,
+	}
+	chars := []byte(`abcXYZ0189 ():-=<>!,._+-*/"%`)
+	rng := rand.New(rand.NewSource(7))
+	for _, seed := range seeds {
+		for iter := 0; iter < 400; iter++ {
+			b := []byte(seed)
+			for k := 0; k < 1+rng.Intn(4); k++ {
+				switch rng.Intn(3) {
+				case 0:
+					b[rng.Intn(len(b))] = chars[rng.Intn(len(chars))]
+				case 1:
+					i := rng.Intn(len(b))
+					b = append(b[:i], b[i+1:]...)
+				default:
+					i := rng.Intn(len(b) + 1)
+					b = append(b[:i], append([]byte{chars[rng.Intn(len(chars))]}, b[i:]...)...)
+				}
+				if len(b) == 0 {
+					b = []byte{'x'}
+				}
+			}
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("rule parser panicked on %q: %v", b, r)
+					}
+				}()
+				_, _ = Parse(string(b))
+			}()
+		}
+	}
+}

@@ -1,0 +1,225 @@
+package constraint
+
+import (
+	"sort"
+	"strings"
+
+	"cdb/internal/rational"
+)
+
+// Conjunction is a finite conjunction of atomic linear constraints — a
+// "constraint tuple" in the Kanellakis-Kuper-Revesz framework. Its semantics
+// is the set of assignments satisfying every constraint; the empty
+// conjunction denotes "true" (all assignments).
+type Conjunction struct {
+	cs []Constraint
+}
+
+// And returns the conjunction of the given constraints. Trivially true
+// constraints are dropped; a trivially false constraint makes the result
+// unsatisfiable but is kept so the caller can detect it via IsSatisfiable.
+func And(cs ...Constraint) Conjunction {
+	out := make([]Constraint, 0, len(cs))
+	for _, c := range cs {
+		if triv, val := c.IsTrivial(); triv && val {
+			continue
+		}
+		out = append(out, c)
+	}
+	return Conjunction{cs: out}
+}
+
+// True is the empty conjunction (satisfied by every assignment).
+func True() Conjunction { return Conjunction{} }
+
+// False returns a canonical unsatisfiable conjunction (0 < 0).
+func False() Conjunction {
+	return Conjunction{cs: []Constraint{{Expr: Expr{}, Op: Lt}}}
+}
+
+// With returns j extended with additional constraints.
+func (j Conjunction) With(cs ...Constraint) Conjunction {
+	out := make([]Constraint, 0, len(j.cs)+len(cs))
+	out = append(out, j.cs...)
+	for _, c := range cs {
+		if triv, val := c.IsTrivial(); triv && val {
+			continue
+		}
+		out = append(out, c)
+	}
+	return Conjunction{cs: out}
+}
+
+// Merge returns the conjunction of j and k.
+func (j Conjunction) Merge(k Conjunction) Conjunction {
+	return j.With(k.cs...)
+}
+
+// Constraints returns the constraints of j. The result must not be mutated.
+func (j Conjunction) Constraints() []Constraint { return j.cs }
+
+// Len returns the number of atomic constraints in j.
+func (j Conjunction) Len() int { return len(j.cs) }
+
+// IsTrue reports whether j is the empty conjunction.
+func (j Conjunction) IsTrue() bool { return len(j.cs) == 0 }
+
+// Vars returns the sorted set of variables occurring in j.
+func (j Conjunction) Vars() []string {
+	set := map[string]bool{}
+	for _, c := range j.cs {
+		for _, v := range c.Expr.Vars() {
+			set[v] = true
+		}
+	}
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// HasVar reports whether variable v occurs in j.
+func (j Conjunction) HasVar(v string) bool {
+	for _, c := range j.cs {
+		if c.HasVar(v) {
+			return true
+		}
+	}
+	return false
+}
+
+// Holds evaluates j under the assignment.
+func (j Conjunction) Holds(assign map[string]rational.Rat) (bool, error) {
+	for _, c := range j.cs {
+		ok, err := c.Holds(assign)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// Substitute returns j with variable v replaced by repl in every constraint.
+func (j Conjunction) Substitute(v string, repl Expr) Conjunction {
+	out := make([]Constraint, 0, len(j.cs))
+	for _, c := range j.cs {
+		nc := c.Substitute(v, repl)
+		if triv, val := nc.IsTrivial(); triv && val {
+			continue
+		}
+		out = append(out, nc)
+	}
+	return Conjunction{cs: out}
+}
+
+// Rename returns j with variable old renamed to new.
+func (j Conjunction) Rename(old, new string) Conjunction {
+	out := make([]Constraint, len(j.cs))
+	for i, c := range j.cs {
+		out[i] = c.Rename(old, new)
+	}
+	return Conjunction{cs: out}
+}
+
+// IsSatisfiable reports whether some rational assignment satisfies j.
+// Decided exactly by Fourier-Motzkin elimination (complete for linear
+// rational arithmetic / dense orders).
+func (j Conjunction) IsSatisfiable() bool {
+	return satisfiable(j.cs)
+}
+
+// Entails reports whether every assignment satisfying j also satisfies c,
+// i.e. j ∧ ¬c is unsatisfiable (for every disjunct of ¬c).
+func (j Conjunction) Entails(c Constraint) bool {
+	for _, neg := range c.Complement() {
+		if satisfiable(append(append([]Constraint{}, j.cs...), neg)) {
+			return false
+		}
+	}
+	return true
+}
+
+// EntailsAll reports whether j entails every constraint of k.
+func (j Conjunction) EntailsAll(k Conjunction) bool {
+	for _, c := range k.cs {
+		if !j.Entails(c) {
+			return false
+		}
+	}
+	return true
+}
+
+// Equivalent reports whether j and k denote the same set of assignments.
+// Both must be satisfiable or both unsatisfiable; satisfiable conjunctions
+// are compared by mutual entailment.
+func (j Conjunction) Equivalent(k Conjunction) bool {
+	js, ks := j.IsSatisfiable(), k.IsSatisfiable()
+	if !js || !ks {
+		return js == ks
+	}
+	return j.EntailsAll(k) && k.EntailsAll(j)
+}
+
+// Simplify returns an equivalent conjunction with exact duplicates and
+// redundant constraints removed. A constraint is redundant if the remaining
+// constraints entail it. Unsatisfiable conjunctions simplify to False().
+func (j Conjunction) Simplify() Conjunction {
+	if !j.IsSatisfiable() {
+		return False()
+	}
+	// Cheap pass: canonical-key dedup.
+	seen := map[string]bool{}
+	uniq := make([]Constraint, 0, len(j.cs))
+	for _, c := range j.cs {
+		if triv, val := c.IsTrivial(); triv && val {
+			continue
+		}
+		k := c.Key()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		uniq = append(uniq, c)
+	}
+	// Expensive pass: drop constraints entailed by the rest.
+	out := append([]Constraint{}, uniq...)
+	for i := 0; i < len(out); {
+		rest := Conjunction{cs: append(append([]Constraint{}, out[:i]...), out[i+1:]...)}
+		if rest.Entails(out[i]) {
+			out = append(out[:i], out[i+1:]...)
+		} else {
+			i++
+		}
+	}
+	return Conjunction{cs: out}
+}
+
+// Key returns a canonical string for the *syntactic* form of j (sorted
+// canonical constraint keys). Equal keys imply equivalent conjunctions; the
+// converse does not hold (use Equivalent for semantic comparison).
+func (j Conjunction) Key() string {
+	keys := make([]string, len(j.cs))
+	for i, c := range j.cs {
+		keys[i] = c.Key()
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, " & ")
+}
+
+// String renders j as " c1, c2, ..." matching the paper's comma-separated
+// conjunction syntax; the empty conjunction renders as "true".
+func (j Conjunction) String() string {
+	if len(j.cs) == 0 {
+		return "true"
+	}
+	parts := make([]string, len(j.cs))
+	for i, c := range j.cs {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, ", ")
+}

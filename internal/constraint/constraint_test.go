@@ -1,0 +1,137 @@
+package constraint
+
+import (
+	"testing"
+
+	"cdb/internal/rational"
+)
+
+func TestNewNormalisesOperators(t *testing.T) {
+	x, three := Var("x"), ConstInt(3)
+	tests := []struct {
+		op   string
+		want string
+	}{
+		{"=", "x = 3"},
+		{"==", "x = 3"},
+		{"<=", "x <= 3"},
+		{"<", "x < 3"},
+		{">=", "-x <= -3"},
+		{">", "-x < -3"},
+	}
+	for _, tt := range tests {
+		c, err := New(x, tt.op, three)
+		if err != nil {
+			t.Fatalf("New(%q): %v", tt.op, err)
+		}
+		if got := c.String(); got != tt.want {
+			t.Errorf("New(%q) = %q, want %q", tt.op, got, tt.want)
+		}
+	}
+	if _, err := New(x, "!=", three); err == nil {
+		t.Error("New(!=) should fail (not convex)")
+	}
+}
+
+func TestConstraintHolds(t *testing.T) {
+	c := MustNew(Var("x").Add(Var("y")), "<=", ConstInt(5))
+	at := func(x, y string) bool {
+		ok, err := c.Holds(map[string]rational.Rat{"x": q(x), "y": q(y)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ok
+	}
+	if !at("2", "3") { // boundary of <=
+		t.Error("2+3 <= 5 failed")
+	}
+	if at("3", "3") {
+		t.Error("3+3 <= 5 held")
+	}
+	lt := MustNew(Var("x"), "<", ConstInt(0))
+	if ok, _ := lt.Holds(map[string]rational.Rat{"x": rational.Zero}); ok {
+		t.Error("0 < 0 held")
+	}
+}
+
+func TestIsTrivial(t *testing.T) {
+	tests := []struct {
+		c             Constraint
+		trivial, want bool
+	}{
+		{Constraint{Expr: ConstInt(0), Op: Eq}, true, true},
+		{Constraint{Expr: ConstInt(1), Op: Eq}, true, false},
+		{Constraint{Expr: ConstInt(-1), Op: Le}, true, true},
+		{Constraint{Expr: ConstInt(0), Op: Le}, true, true},
+		{Constraint{Expr: ConstInt(0), Op: Lt}, true, false},
+		{Constraint{Expr: Var("x"), Op: Le}, false, false},
+	}
+	for i, tt := range tests {
+		triv, val := tt.c.IsTrivial()
+		if triv != tt.trivial || (triv && val != tt.want) {
+			t.Errorf("case %d: (%v,%v)", i, triv, val)
+		}
+	}
+}
+
+func TestComplement(t *testing.T) {
+	pt := func(x string) map[string]rational.Rat {
+		return map[string]rational.Rat{"x": q(x)}
+	}
+	for _, c := range []Constraint{
+		LeConst("x", q("2")),
+		LtConst("x", q("2")),
+		EqConst("x", q("2")),
+	} {
+		comp := c.Complement()
+		for _, x := range []string{"-10", "0", "2", "3", "17/8"} {
+			orig, _ := c.Holds(pt(x))
+			negHolds := false
+			for _, n := range comp {
+				if ok, _ := n.Holds(pt(x)); ok {
+					negHolds = true
+				}
+			}
+			if orig == negHolds {
+				t.Errorf("%s: complement not exclusive/exhaustive at x=%s", c, x)
+			}
+		}
+	}
+}
+
+func TestCanonicalKey(t *testing.T) {
+	// 2x <= 4 and x <= 2 denote the same half plane.
+	a := MustNew(Var("x").Scale(q("2")), "<=", ConstInt(4))
+	b := MustNew(Var("x"), "<=", ConstInt(2))
+	if a.Key() != b.Key() {
+		t.Errorf("keys differ: %q vs %q", a.Key(), b.Key())
+	}
+	// x <= 2 and x >= 2 must differ.
+	c := MustNew(Var("x"), ">=", ConstInt(2))
+	if b.Key() == c.Key() {
+		t.Error("<= and >= share a key")
+	}
+	// Equalities: x = 2 and -x = -2 coincide.
+	d := MustNew(Var("x").Neg(), "=", ConstInt(-2))
+	e := MustNew(Var("x"), "=", ConstInt(2))
+	if d.Key() != e.Key() {
+		t.Errorf("eq keys differ: %q vs %q", d.Key(), e.Key())
+	}
+	// <= and < with the same hyperplane must differ.
+	f := MustNew(Var("x"), "<", ConstInt(2))
+	if b.Key() == f.Key() {
+		t.Error("<= and < share a key")
+	}
+}
+
+func TestConstraintSubstituteRename(t *testing.T) {
+	c := MustNew(Var("x").Add(Var("y")), "<=", ConstInt(3))
+	s := c.Substitute("y", ConstInt(1))
+	if got := s.String(); got != "x <= 2" {
+		t.Errorf("got %q", got)
+	}
+	r := c.Rename("y", "t")
+	if got := r.String(); got != "t + x <= 3" {
+		t.Errorf("got %q", got)
+	}
+}

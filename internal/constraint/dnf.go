@@ -1,0 +1,110 @@
+package constraint
+
+import "cdb/internal/rational"
+
+// This file implements complementation of conjunctions into disjunctive
+// normal form. It is the engine behind CQA's difference operator: the
+// constraint part of a tuple difference t1 - t2 is  φ(t1) ∧ ¬φ(t2), which
+// expands into a finite union of constraint tuples (the closure principle:
+// the output is again representable in the input's constraint class).
+
+// Disjunction is a finite disjunction of conjunctions (DNF). The empty
+// disjunction denotes "false".
+type Disjunction []Conjunction
+
+// ComplementInto returns base ∧ ¬j as a disjunction of satisfiable
+// conjunctions.
+//
+// The expansion follows the standard "staircase" decomposition, which keeps
+// the disjuncts pairwise disjoint: for j = c1 ∧ c2 ∧ ... ∧ cn,
+//
+//	¬j = ¬c1  ∨  (c1 ∧ ¬c2)  ∨  (c1 ∧ c2 ∧ ¬c3)  ∨ ...
+//
+// with each ¬ci itself a disjunction of at most two atomic constraints
+// (two for equalities). Unsatisfiable disjuncts are pruned eagerly.
+func ComplementInto(base Conjunction, j Conjunction) Disjunction {
+	return complementInto(base, j, false)
+}
+
+// complementInto implements ComplementInto; lazyPrune skips the eager
+// satisfiability pruning (DESIGN.md ablation; production always prunes).
+func complementInto(base Conjunction, j Conjunction, lazyPrune bool) Disjunction {
+	if !lazyPrune && !base.IsSatisfiable() {
+		return nil
+	}
+	cs := j.Constraints()
+	var out Disjunction
+	prefix := base
+	for _, c := range cs {
+		for _, neg := range c.Complement() {
+			cand := prefix.With(neg)
+			if lazyPrune || cand.IsSatisfiable() {
+				out = append(out, cand)
+			}
+		}
+		prefix = prefix.With(c)
+		if !lazyPrune && !prefix.IsSatisfiable() {
+			// base already entails ¬(remaining prefix); nothing further to
+			// subtract from.
+			break
+		}
+	}
+	return out
+}
+
+// Subtract returns the difference j - k as a disjunction of satisfiable
+// conjunctions: assignments satisfying j but not k.
+func Subtract(j, k Conjunction) Disjunction {
+	return ComplementInto(j, k)
+}
+
+// SubtractLazy is Subtract without the eager per-disjunct satisfiability
+// pruning: the result may contain unsatisfiable disjuncts that downstream
+// consumers must filter. It exists only for the DESIGN.md ablation
+// benchmark; production paths always prune eagerly.
+func SubtractLazy(j, k Conjunction) Disjunction {
+	return complementInto(j, k, true)
+}
+
+// SubtractAll returns j minus every conjunction in ks. The result is a
+// disjunction of satisfiable conjunctions covering exactly the assignments
+// in j and in none of the ks.
+func SubtractAll(j Conjunction, ks []Conjunction) Disjunction {
+	work := Disjunction{j}
+	for _, k := range ks {
+		var next Disjunction
+		for _, piece := range work {
+			next = append(next, Subtract(piece, k)...)
+		}
+		work = next
+		if len(work) == 0 {
+			return nil
+		}
+	}
+	return work
+}
+
+// IsSatisfiable reports whether any disjunct is satisfiable.
+func (d Disjunction) IsSatisfiable() bool {
+	for _, j := range d {
+		if j.IsSatisfiable() {
+			return true
+		}
+	}
+	return false
+}
+
+// Holds evaluates the disjunction under the assignment: true if any
+// disjunct holds.
+func (d Disjunction) Holds(assign map[string]rational.Rat) (bool, error) {
+	for _, j := range d {
+		ok, err := j.Holds(assign)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}

@@ -1,0 +1,118 @@
+package constraint
+
+import (
+	"testing"
+
+	"cdb/internal/rational"
+)
+
+func q(s string) rational.Rat { return rational.MustParse(s) }
+
+func TestNewExprMergesAndSorts(t *testing.T) {
+	e := NewExpr([]Term{
+		{Var: "y", Coef: q("2")},
+		{Var: "x", Coef: q("1")},
+		{Var: "y", Coef: q("-2")},
+		{Var: "z", Coef: q("0")},
+	}, q("5"))
+	if got := e.String(); got != "x + 5" {
+		t.Errorf("got %q", got)
+	}
+	if e.NumVars() != 1 {
+		t.Errorf("NumVars = %d", e.NumVars())
+	}
+}
+
+func TestExprAddSub(t *testing.T) {
+	e := Var("x").Add(Var("y").Scale(q("2"))).AddConst(q("1"))
+	f := Var("x").Scale(q("-1")).Add(Var("z"))
+	sum := e.Add(f)
+	if got := sum.String(); got != "2y + z + 1" {
+		t.Errorf("sum = %q", got)
+	}
+	diff := e.Sub(e)
+	if !diff.IsConst() || !diff.ConstTerm().IsZero() {
+		t.Errorf("e-e = %q", diff)
+	}
+}
+
+func TestExprScale(t *testing.T) {
+	e := Var("x").Add(ConstInt(3))
+	if got := e.Scale(q("2")).String(); got != "2x + 6" {
+		t.Errorf("2*(x+3) = %q", got)
+	}
+	if !e.Scale(rational.Zero).IsConst() {
+		t.Error("0*e not const")
+	}
+}
+
+func TestExprCoefAndVars(t *testing.T) {
+	e := NewExpr([]Term{{Var: "a", Coef: q("1")}, {Var: "c", Coef: q("-3")}}, q("0"))
+	if !e.Coef("a").Equal(q("1")) || !e.Coef("c").Equal(q("-3")) || !e.Coef("b").IsZero() {
+		t.Error("Coef wrong")
+	}
+	vars := e.Vars()
+	if len(vars) != 2 || vars[0] != "a" || vars[1] != "c" {
+		t.Errorf("Vars = %v", vars)
+	}
+	if !e.HasVar("a") || e.HasVar("b") {
+		t.Error("HasVar wrong")
+	}
+}
+
+func TestExprEval(t *testing.T) {
+	e := Var("x").Scale(q("2")).Add(Var("y").Neg()).AddConst(q("1"))
+	v, err := e.Eval(map[string]rational.Rat{"x": q("3"), "y": q("4")})
+	if err != nil || !v.Equal(q("3")) {
+		t.Errorf("Eval = %v, %v", v, err)
+	}
+	if _, err := e.Eval(map[string]rational.Rat{"x": q("3")}); err == nil {
+		t.Error("Eval with unbound var did not fail")
+	}
+}
+
+func TestExprSubstitute(t *testing.T) {
+	// x + 2y with y := x - 1  ->  3x - 2
+	e := Var("x").Add(Var("y").Scale(q("2")))
+	got := e.Substitute("y", Var("x").Sub(ConstInt(1)))
+	if got.String() != "3x - 2" {
+		t.Errorf("got %q", got)
+	}
+	// Substituting an absent variable is a no-op.
+	if !e.Substitute("z", ConstInt(7)).Equal(e) {
+		t.Error("substituting absent var changed expr")
+	}
+}
+
+func TestExprRename(t *testing.T) {
+	e := Var("x").Add(Var("y"))
+	if got := e.Rename("x", "t").String(); got != "t + y" {
+		t.Errorf("got %q", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("rename onto existing var did not panic")
+		}
+	}()
+	e.Rename("x", "y")
+}
+
+func TestExprString(t *testing.T) {
+	tests := []struct {
+		e    Expr
+		want string
+	}{
+		{Expr{}, "0"},
+		{ConstInt(-3), "-3"},
+		{Var("x"), "x"},
+		{Var("x").Neg(), "-x"},
+		{Var("x").Scale(q("3/2")), "3/2x"},
+		{Var("x").Sub(Var("y")), "x - y"},
+		{Var("x").Add(ConstInt(-2)), "x - 2"},
+	}
+	for _, tt := range tests {
+		if got := tt.e.String(); got != tt.want {
+			t.Errorf("String = %q, want %q", got, tt.want)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package constraint
+
+import "sort"
+
+// Variable independence (§3.2 of the paper, citing Chomicki-Goldin-Kuper-
+// Toman): two attributes are independent in a constraint tuple when its
+// formula can be decomposed into a conjunction of formulas each mentioning
+// only one of them. Independence is what makes orthogonal-range indexing
+// and per-attribute reasoning sound; the paper notes that a relational
+// attribute is automatically independent of all others (its "constraint"
+// is a ground equality), which this package-level analysis generalises to
+// the constraint part.
+//
+// IndependentGroups computes the finest syntactic decomposition: the
+// connected components of the constraint graph (variables are nodes; each
+// atomic constraint connects the variables it mentions). Syntactic
+// independence is sound (variables in different components are truly
+// independent) but not complete — x+y <= 1 ∧ x-y <= 1 links x and y even
+// though no finite refutation exists here; Simplify first to remove
+// redundant links.
+
+// IndependentGroups returns the variables of j partitioned into groups
+// such that no atomic constraint spans two groups. Groups and their
+// members are sorted for determinism.
+func (j Conjunction) IndependentGroups() [][]string {
+	parent := map[string]string{}
+	var find func(string) string
+	find = func(x string) string {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	union := func(a, b string) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for _, v := range j.Vars() {
+		parent[v] = v
+	}
+	for _, c := range j.cs {
+		vars := c.Expr.Vars()
+		for i := 1; i < len(vars); i++ {
+			union(vars[0], vars[i])
+		}
+	}
+	groups := map[string][]string{}
+	for _, v := range j.Vars() {
+		r := find(v)
+		groups[r] = append(groups[r], v)
+	}
+	out := make([][]string, 0, len(groups))
+	for _, g := range groups {
+		sort.Strings(g)
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i][0] < out[k][0] })
+	return out
+}
+
+// Independent reports whether variables a and b are syntactically
+// independent in j (no chain of constraints links them).
+func (j Conjunction) Independent(a, b string) bool {
+	if a == b {
+		return false
+	}
+	for _, g := range j.IndependentGroups() {
+		inA, inB := false, false
+		for _, v := range g {
+			if v == a {
+				inA = true
+			}
+			if v == b {
+				inB = true
+			}
+		}
+		if inA && inB {
+			return false
+		}
+	}
+	return true
+}
+
+// FactorByGroups splits j into one conjunction per independent group
+// (ground constraints — no variables — are attached to the first group,
+// or returned as a trailing conjunction when there are no variables).
+// The conjunction of the factors is equivalent to j.
+func (j Conjunction) FactorByGroups() []Conjunction {
+	groups := j.IndependentGroups()
+	if len(groups) == 0 {
+		return []Conjunction{j}
+	}
+	idx := map[string]int{}
+	for gi, g := range groups {
+		for _, v := range g {
+			idx[v] = gi
+		}
+	}
+	buckets := make([][]Constraint, len(groups))
+	for _, c := range j.cs {
+		vars := c.Expr.Vars()
+		if len(vars) == 0 {
+			buckets[0] = append(buckets[0], c)
+			continue
+		}
+		gi := idx[vars[0]]
+		buckets[gi] = append(buckets[gi], c)
+	}
+	out := make([]Conjunction, len(groups))
+	for i, b := range buckets {
+		out[i] = Conjunction{cs: b}
+	}
+	return out
+}

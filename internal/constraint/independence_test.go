@@ -1,0 +1,109 @@
+package constraint
+
+import (
+	"math/rand"
+	"testing"
+
+	"cdb/internal/rational"
+)
+
+func TestIndependentGroups(t *testing.T) {
+	// x and y linked by x+y<=1; t separate.
+	j := And(
+		MustNew(Var("x").Add(Var("y")), "<=", ConstInt(1)),
+		GeConst("x", q("0")),
+		LeConst("t", q("5")),
+	)
+	groups := j.IndependentGroups()
+	if len(groups) != 2 {
+		t.Fatalf("groups = %v", groups)
+	}
+	if len(groups[0]) != 1 || groups[0][0] != "t" {
+		t.Errorf("groups = %v", groups)
+	}
+	if len(groups[1]) != 2 || groups[1][0] != "x" || groups[1][1] != "y" {
+		t.Errorf("groups = %v", groups)
+	}
+	if j.Independent("x", "y") {
+		t.Error("x,y reported independent")
+	}
+	if !j.Independent("x", "t") || !j.Independent("y", "t") {
+		t.Error("t not independent")
+	}
+	if j.Independent("x", "x") {
+		t.Error("variable independent of itself")
+	}
+	// A box is fully independent per axis.
+	bx := box("x", "0", "1").Merge(box("y", "0", "1"))
+	if got := bx.IndependentGroups(); len(got) != 2 {
+		t.Errorf("box groups = %v", got)
+	}
+	// Chains are transitive: x~y, y~z puts all three together.
+	chain := And(
+		MustNew(Var("x"), "<=", Var("y")),
+		MustNew(Var("y"), "<=", Var("z")),
+	)
+	if got := chain.IndependentGroups(); len(got) != 1 || len(got[0]) != 3 {
+		t.Errorf("chain groups = %v", got)
+	}
+	// Empty conjunction.
+	if got := True().IndependentGroups(); len(got) != 0 {
+		t.Errorf("true groups = %v", got)
+	}
+}
+
+func TestFactorByGroupsEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	vars := []string{"a", "b", "c", "d"}
+	for iter := 0; iter < 100; iter++ {
+		var cs []Constraint
+		n := 1 + rng.Intn(6)
+		for i := 0; i < n; i++ {
+			// Random constraint over 1-2 variables.
+			v1 := vars[rng.Intn(len(vars))]
+			e := Var(v1).Scale(rational.FromInt(int64(1 + rng.Intn(3))))
+			if rng.Intn(2) == 0 {
+				v2 := vars[rng.Intn(len(vars))]
+				if v2 != v1 {
+					e = e.Add(Var(v2).Scale(rational.FromInt(int64(rng.Intn(5) - 2))))
+				}
+			}
+			cs = append(cs, Constraint{Expr: e.AddConst(rational.FromInt(int64(rng.Intn(9) - 4))), Op: Le})
+		}
+		j := And(cs...)
+		factors := j.FactorByGroups()
+		// Conjunction of factors must be equivalent to j.
+		recombined := True()
+		for _, f := range factors {
+			recombined = recombined.Merge(f)
+		}
+		if !recombined.Equivalent(j) {
+			t.Fatalf("iter %d: factoring changed semantics: %s vs %s", iter, j, recombined)
+		}
+		// No factor may span two groups.
+		groups := j.IndependentGroups()
+		if len(factors) != max(len(groups), 1) {
+			t.Fatalf("iter %d: %d factors for %d groups", iter, len(factors), len(groups))
+		}
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestRelationalAttributeIsIndependent(t *testing.T) {
+	// The paper's observation: a relational attribute (ground equality)
+	// is automatically independent of all other attributes. In constraint
+	// form: x = 3 links x to nothing.
+	j := And(
+		EqConst("x", q("3")),
+		MustNew(Var("y").Add(Var("z")), "<=", ConstInt(1)),
+	)
+	if !j.Independent("x", "y") || !j.Independent("x", "z") {
+		t.Error("ground-equality attribute not independent")
+	}
+}

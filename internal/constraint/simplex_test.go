@@ -1,0 +1,240 @@
+package constraint
+
+import (
+	"math/rand"
+	"testing"
+
+	"cdb/internal/rational"
+)
+
+func TestSimplexSimpleMax(t *testing.T) {
+	// max x+y s.t. x<=2, y<=3, x,y>=0  ->  5 at (2,3).
+	j := box("x", "0", "2").Merge(box("y", "0", "3"))
+	r := Maximize(j, Var("x").Add(Var("y")))
+	if r.Status != Optimal {
+		t.Fatalf("status = %v", r.Status)
+	}
+	if !r.Value.Equal(q("5")) {
+		t.Errorf("value = %s, want 5", r.Value)
+	}
+	if !r.Point["x"].Equal(q("2")) || !r.Point["y"].Equal(q("3")) {
+		t.Errorf("point = %v", r.Point)
+	}
+}
+
+func TestSimplexMin(t *testing.T) {
+	j := box("x", "-3", "4")
+	r := Minimize(j, Var("x"))
+	if r.Status != Optimal || !r.Value.Equal(q("-3")) {
+		t.Errorf("min x = %v %s", r.Status, r.Value)
+	}
+}
+
+func TestSimplexNegativeRHS(t *testing.T) {
+	// x >= 5 forces phase 1 (negative b in <= form). min x = 5.
+	j := And(GeConst("x", q("5")), LeConst("x", q("9")))
+	r := Minimize(j, Var("x"))
+	if r.Status != Optimal || !r.Value.Equal(q("5")) {
+		t.Errorf("got %v %s", r.Status, r.Value)
+	}
+}
+
+func TestSimplexInfeasible(t *testing.T) {
+	j := And(LeConst("x", q("0")), GeConst("x", q("1")))
+	r := Maximize(j, Var("x"))
+	if r.Status != Infeasible {
+		t.Errorf("status = %v", r.Status)
+	}
+}
+
+func TestSimplexUnbounded(t *testing.T) {
+	j := And(GeConst("x", q("0")))
+	r := Maximize(j, Var("x"))
+	if r.Status != Unbounded {
+		t.Errorf("status = %v", r.Status)
+	}
+	// But minimisation is bounded.
+	r2 := Minimize(j, Var("x"))
+	if r2.Status != Optimal || !r2.Value.IsZero() {
+		t.Errorf("min over x>=0: %v %s", r2.Status, r2.Value)
+	}
+}
+
+func TestSimplexWithEqualities(t *testing.T) {
+	// x + y = 10, x - y = 2  ->  unique point (6, 4); any objective optimal there.
+	j := And(
+		MustNew(Var("x").Add(Var("y")), "=", ConstInt(10)),
+		MustNew(Var("x").Sub(Var("y")), "=", ConstInt(2)),
+	)
+	r := Maximize(j, Var("x").Scale(q("3")).Add(Var("y")))
+	if r.Status != Optimal {
+		t.Fatalf("status = %v", r.Status)
+	}
+	if !r.Point["x"].Equal(q("6")) || !r.Point["y"].Equal(q("4")) {
+		t.Errorf("point = %v", r.Point)
+	}
+	if !r.Value.Equal(q("22")) {
+		t.Errorf("value = %s", r.Value)
+	}
+}
+
+func TestSimplexFractionalVertex(t *testing.T) {
+	// max y s.t. y <= x/2, y <= 3 - x  ->  vertex at x=2, y=1.
+	j := And(
+		MustNew(Var("y"), "<=", Var("x").Scale(q("1/2"))),
+		MustNew(Var("y"), "<=", ConstInt(3).Sub(Var("x"))),
+		GeConst("y", q("0")),
+	)
+	r := Maximize(j, Var("y"))
+	if r.Status != Optimal || !r.Value.Equal(q("1")) {
+		t.Errorf("got %v %s (point %v)", r.Status, r.Value, r.Point)
+	}
+}
+
+func TestSimplexDegenerate(t *testing.T) {
+	// Degenerate vertex: many constraints meeting at origin. Bland's rule
+	// must terminate.
+	j := And(
+		GeConst("x", q("0")), GeConst("y", q("0")),
+		MustNew(Var("x").Add(Var("y")), ">=", ConstInt(0)),
+		MustNew(Var("x").Sub(Var("y")), ">=", ConstInt(0)),
+		MustNew(Var("x").Add(Var("y")), "<=", ConstInt(4)),
+	)
+	r := Maximize(j, Var("y"))
+	if r.Status != Optimal || !r.Value.Equal(q("2")) {
+		t.Errorf("got %v %s", r.Status, r.Value)
+	}
+}
+
+func TestFeasiblePoint(t *testing.T) {
+	j := And(GeConst("x", q("3")), LeConst("x", q("3")))
+	pt, ok := FeasiblePoint(j)
+	if !ok || !pt["x"].Equal(q("3")) {
+		t.Errorf("pt = %v ok = %v", pt, ok)
+	}
+	if _, ok := FeasiblePoint(box("x", "2", "1")); ok {
+		t.Error("feasible point of empty box")
+	}
+}
+
+// TestQuickSimplexAgreesWithFM cross-checks the two independent decision
+// procedures: for random systems, simplex feasibility of the closure must
+// match Fourier-Motzkin satisfiability of the closure, and the extrema of
+// each variable must match VarBounds.
+func TestQuickSimplexAgreesWithFM(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 150; iter++ {
+		var cs []Constraint
+		n := 1 + rng.Intn(5)
+		for i := 0; i < n; i++ {
+			e := Var("x").Scale(rational.FromInt(int64(rng.Intn(7) - 3))).
+				Add(Var("y").Scale(rational.FromInt(int64(rng.Intn(7) - 3)))).
+				AddConst(rational.New(int64(rng.Intn(21)-10), int64(1+rng.Intn(3))))
+			op := []Op{Le, Eq}[rng.Intn(2)] // closed system: closure == itself
+			cs = append(cs, Constraint{Expr: e, Op: op})
+		}
+		j := And(cs...)
+		fmSat := j.IsSatisfiable()
+		_, spSat := FeasiblePoint(j)
+		if fmSat != spSat {
+			t.Fatalf("iter %d: FM=%v simplex=%v for %s", iter, fmSat, spSat, j)
+		}
+		if !fmSat {
+			continue
+		}
+		for _, v := range []string{"x", "y"} {
+			iv, ok := j.VarBounds(v)
+			if !ok {
+				t.Fatalf("iter %d: VarBounds unsat but FM sat", iter)
+			}
+			maxR := Maximize(j, Var(v))
+			minR := Minimize(j, Var(v))
+			if iv.HasUpper != (maxR.Status == Optimal) {
+				t.Fatalf("iter %d %s: FM upper=%v simplex=%v for %s", iter, v, iv.HasUpper, maxR.Status, j)
+			}
+			if iv.HasUpper && !iv.Upper.Equal(maxR.Value) {
+				t.Fatalf("iter %d %s: FM upper=%s simplex=%s for %s", iter, v, iv.Upper, maxR.Value, j)
+			}
+			if iv.HasLower != (minR.Status == Optimal) {
+				t.Fatalf("iter %d %s: FM lower=%v simplex=%v for %s", iter, v, iv.HasLower, minR.Status, j)
+			}
+			if iv.HasLower && !iv.Lower.Equal(minR.Value) {
+				t.Fatalf("iter %d %s: FM lower=%s simplex=%s for %s", iter, v, iv.Lower, minR.Value, j)
+			}
+		}
+	}
+}
+
+// TestQuickSimplexPointFeasible verifies that returned optimal points
+// actually satisfy the system.
+func TestQuickSimplexPointFeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for iter := 0; iter < 100; iter++ {
+		var cs []Constraint
+		for i := 0; i < 3; i++ {
+			e := Var("x").Scale(rational.FromInt(int64(rng.Intn(5) - 2))).
+				Add(Var("y").Scale(rational.FromInt(int64(rng.Intn(5) - 2)))).
+				AddConst(rational.FromInt(int64(rng.Intn(9) - 4)))
+			cs = append(cs, Constraint{Expr: e, Op: Le})
+		}
+		// Bound the region so optima exist.
+		j := And(cs...).Merge(box("x", "-10", "10")).Merge(box("y", "-10", "10"))
+		r := Maximize(j, Var("x").Add(Var("y").Scale(q("2"))))
+		if r.Status == Infeasible {
+			if j.IsSatisfiable() {
+				t.Fatalf("iter %d: simplex infeasible, FM satisfiable: %s", iter, j)
+			}
+			continue
+		}
+		if r.Status != Optimal {
+			t.Fatalf("iter %d: status %v on bounded region", iter, r.Status)
+		}
+		ok, err := j.Holds(r.Point)
+		if err != nil || !ok {
+			t.Fatalf("iter %d: optimal point %v violates %s (err %v)", iter, r.Point, j, err)
+		}
+	}
+}
+
+func BenchmarkSatisfiability(b *testing.B) {
+	j := And(
+		GeConst("x", q("0")), GeConst("y", q("0")), GeConst("t", q("0")),
+		MustNew(Var("x").Add(Var("y")), "<=", ConstInt(10)),
+		MustNew(Var("x").Sub(Var("t")), "<=", ConstInt(2)),
+		MustNew(Var("y").Add(Var("t")), "<=", ConstInt(8)),
+	)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !j.IsSatisfiable() {
+			b.Fatal("unsat")
+		}
+	}
+}
+
+func BenchmarkEliminate(b *testing.B) {
+	j := And(
+		GeConst("x", q("0")), GeConst("y", q("0")), GeConst("t", q("0")),
+		MustNew(Var("x").Add(Var("y")).Add(Var("t")), "<=", ConstInt(10)),
+		MustNew(Var("x").Sub(Var("y")), "<=", ConstInt(2)),
+		MustNew(Var("y").Sub(Var("t")), "<=", ConstInt(3)),
+	)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = j.Eliminate("y", "t")
+	}
+}
+
+func BenchmarkSimplexMaximize(b *testing.B) {
+	j := And(
+		GeConst("x", q("0")), GeConst("y", q("0")),
+		MustNew(Var("x").Add(Var("y")), "<=", ConstInt(10)),
+		MustNew(Var("x").Scale(q("2")).Add(Var("y")), "<=", ConstInt(14)),
+	)
+	obj := Var("x").Add(Var("y").Scale(q("3")))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if r := Maximize(j, obj); r.Status != Optimal {
+			b.Fatal(r.Status)
+		}
+	}
+}

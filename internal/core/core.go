@@ -1,0 +1,53 @@
+// Package core re-exports the paper's primary contribution — the
+// heterogeneous data model (schemas with the C/R flag, heterogeneous
+// constraint relations) and the Constraint Query Algebra — under one
+// import path, matching the repository's mandated layout. The root
+// package cdb is the full public facade; core is the narrow "just the
+// contribution" view.
+package core
+
+import (
+	"cdb/internal/cqa"
+	"cdb/internal/relation"
+	"cdb/internal/schema"
+)
+
+// Schema is a heterogeneous relation schema (attributes carry the C/R
+// flag that resolves the paper's missing-attribute inconsistency).
+type Schema = schema.Schema
+
+// Attribute is one schema column.
+type Attribute = schema.Attribute
+
+// Relation is a heterogeneous constraint relation.
+type Relation = relation.Relation
+
+// Tuple is one heterogeneous constraint tuple: relational bindings plus a
+// conjunction of rational linear constraints.
+type Tuple = relation.Tuple
+
+// Condition is a selection condition (a conjunction of atoms).
+type Condition = cqa.Condition
+
+// The six CQA operators (§2.4), reinterpreted over heterogeneous
+// relations with narrow/broad missing-attribute semantics (§3).
+var (
+	Select     = cqa.Select
+	Project    = cqa.Project
+	Join       = cqa.Join
+	Union      = cqa.Union
+	Rename     = cqa.Rename
+	Difference = cqa.Difference
+)
+
+// Rel and Con declare relational and constraint attributes.
+var (
+	Rel = schema.Rel
+	Con = schema.Con
+)
+
+// NewSchema and NewRelation construct the data model.
+var (
+	NewSchema   = schema.New
+	NewRelation = relation.New
+)

@@ -1,0 +1,230 @@
+package cqa
+
+import (
+	"fmt"
+
+	"cdb/internal/constraint"
+	"cdb/internal/relation"
+	"cdb/internal/schema"
+)
+
+// Select returns ς_cond(r): the tuples of r restricted to the condition.
+// Per the heterogeneous semantics, conditions over constraint attributes
+// are conjoined (broad), while conditions over relational attributes filter
+// by value with NULL matching nothing (narrow). Atoms using != over
+// constraint attributes may split a tuple in two, so the output can have
+// more tuples than the input (but never more points).
+func Select(r *relation.Relation, cond Condition) (*relation.Relation, error) {
+	if err := cond.Validate(r.Schema()); err != nil {
+		return nil, err
+	}
+	out := relation.New(r.Schema())
+	for _, t := range r.Tuples() {
+		variants := []relation.Tuple{t}
+		for _, a := range cond {
+			var next []relation.Tuple
+			for _, v := range variants {
+				res, err := evalAtom(a, r.Schema(), v)
+				if err != nil {
+					return nil, err
+				}
+				next = append(next, res...)
+			}
+			variants = next
+			if len(variants) == 0 {
+				break
+			}
+		}
+		for _, v := range variants {
+			if err := out.Add(v); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// Project returns π_X(r): the restriction of every tuple to the attributes
+// X. Constraint attributes outside X are eliminated exactly (Fourier-
+// Motzkin projection of the constraint part); relational bindings outside X
+// are dropped. Tuples whose projected constraint part is unsatisfiable are
+// removed.
+func Project(r *relation.Relation, cols ...string) (*relation.Relation, error) {
+	ps, err := r.Schema().Project(cols...)
+	if err != nil {
+		return nil, err
+	}
+	keep := map[string]bool{}
+	for _, c := range cols {
+		keep[c] = true
+	}
+	var dropCon []string
+	for _, name := range r.Schema().ConstraintNames() {
+		if !keep[name] {
+			dropCon = append(dropCon, name)
+		}
+	}
+	out := relation.New(ps)
+	for _, t := range r.Tuples() {
+		con := t.Constraint().Eliminate(dropCon...)
+		if !con.IsSatisfiable() {
+			continue
+		}
+		rvals := map[string]relation.Value{}
+		for name, v := range t.RVals() {
+			if keep[name] {
+				rvals[name] = v
+			}
+		}
+		if err := out.Add(relation.NewTuple(rvals, con)); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Join returns r1 ⋈ r2, the natural join. Shared attributes must agree in
+// type and kind:
+//
+//   - shared relational attributes join when their bindings are identical,
+//     where an unbound attribute is NULL and NULL is identical to NULL
+//     (the paper's narrow semantics reads a missing attribute as "a null
+//     value, distinct from all values in the domain" — a distinguished
+//     quasi-value, so two NULLs denote the same point coordinate; note
+//     this is set-semantics identity, not SQL's three-valued NULL = NULL);
+//   - shared constraint attributes join by conjoining the two constraint
+//     parts over the shared variables (the broad semantics make an
+//     unconstrained attribute join everything);
+//   - the result keeps only pairs whose combined constraint part is
+//     satisfiable.
+//
+// Cross-product and intersection are the special cases with disjoint and
+// identical schemas respectively (paper §2.4, remark under Natural-Join).
+func Join(r1, r2 *relation.Relation) (*relation.Relation, error) {
+	js, err := r1.Schema().Join(r2.Schema())
+	if err != nil {
+		return nil, err
+	}
+	var sharedRel []string
+	for _, a := range r1.Schema().Attrs() {
+		if a.Kind == schema.Relational && r2.Schema().Has(a.Name) {
+			sharedRel = append(sharedRel, a.Name)
+		}
+	}
+	out := relation.New(js)
+	for _, t1 := range r1.Tuples() {
+		for _, t2 := range r2.Tuples() {
+			match := true
+			for _, name := range sharedRel {
+				v1, _ := t1.RVal(name) // NULL when unbound
+				v2, _ := t2.RVal(name)
+				if !v1.Identical(v2) {
+					match = false
+					break
+				}
+			}
+			if !match {
+				continue
+			}
+			con := t1.Constraint().Merge(t2.Constraint())
+			if !con.IsSatisfiable() {
+				continue
+			}
+			rvals := t1.RVals()
+			for name, v := range t2.RVals() {
+				rvals[name] = v
+			}
+			if err := out.Add(relation.NewTuple(rvals, con)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// Intersect returns r1 ∩ r2. It requires equal schemas and is implemented
+// as the natural join (of which it is the special case).
+func Intersect(r1, r2 *relation.Relation) (*relation.Relation, error) {
+	if !r1.Schema().Equal(r2.Schema()) {
+		return nil, fmt.Errorf("cqa: intersect requires equal schemas: %s vs %s", r1.Schema(), r2.Schema())
+	}
+	return Join(r1, r2)
+}
+
+// Union returns r1 ∪ r2. The schemas must be equal (as attribute sets with
+// matching types and kinds).
+func Union(r1, r2 *relation.Relation) (*relation.Relation, error) {
+	if !r1.Schema().Equal(r2.Schema()) {
+		return nil, fmt.Errorf("cqa: union requires equal schemas: %s vs %s", r1.Schema(), r2.Schema())
+	}
+	out := relation.New(r1.Schema())
+	for _, t := range r1.Tuples() {
+		if err := out.Add(t); err != nil {
+			return nil, err
+		}
+	}
+	for _, t := range r2.Tuples() {
+		if err := out.Add(t); err != nil {
+			return nil, err
+		}
+	}
+	return out.Normalize(), nil
+}
+
+// Rename returns ϱ_{new|old}(r): attribute old renamed to new in the
+// schema, the relational bindings, and the constraint variables.
+func Rename(r *relation.Relation, old, new string) (*relation.Relation, error) {
+	rs, err := r.Schema().Rename(old, new)
+	if err != nil {
+		return nil, err
+	}
+	out := relation.New(rs)
+	for _, t := range r.Tuples() {
+		rvals := map[string]relation.Value{}
+		for name, v := range t.RVals() {
+			if name == old {
+				rvals[new] = v
+			} else {
+				rvals[name] = v
+			}
+		}
+		if err := out.Add(relation.NewTuple(rvals, t.Constraint().Rename(old, new))); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Difference returns r1 - r2: the points of r1 not in r2. The schemas must
+// be equal.
+//
+// Tuples of r2 subtract from a tuple of r1 only when their relational parts
+// are identical (NULL-safe identity, matching set difference in SQL);
+// within such a match the constraint parts are subtracted exactly,
+// producing a disjunction of constraint tuples (the closure principle at
+// work: the complement of a conjunction of linear constraints expands into
+// finitely many linear constraint tuples).
+func Difference(r1, r2 *relation.Relation) (*relation.Relation, error) {
+	if !r1.Schema().Equal(r2.Schema()) {
+		return nil, fmt.Errorf("cqa: difference requires equal schemas: %s vs %s", r1.Schema(), r2.Schema())
+	}
+	out := relation.New(r1.Schema())
+	for _, t1 := range r1.Tuples() {
+		var subtrahends []constraint.Conjunction
+		for _, t2 := range r2.Tuples() {
+			if t1.SameRelationalPart(t2) {
+				subtrahends = append(subtrahends, t2.Constraint())
+			}
+		}
+		pieces := constraint.SubtractAll(t1.Constraint(), subtrahends)
+		for _, con := range pieces {
+			if !con.IsSatisfiable() {
+				continue
+			}
+			if err := out.Add(relation.NewTuple(t1.RVals(), con)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}

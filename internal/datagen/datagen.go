@@ -1,0 +1,166 @@
+// Package datagen generates the synthetic workloads of the paper's §5.4
+// experiments, with the published parameters:
+//
+//	"1. Randomly generate 10,000 bounding boxes representing data tuples,
+//	    with height and width in [1,100]; store them in the data file.
+//	 2. Randomly generate 100 queries, which are rectangles of height and
+//	    width in [1,100]; store them in the query file. For experiment 3,
+//	    generate 500 queries.
+//	 3. All rectangles are obtained by randomly generating (a) the
+//	    upper-left coordinates, and (b) the height and width of each
+//	    rectangle. All coordinates are between [0, 3000]."
+//
+// The original data/query files were not published; fixed seeds make our
+// samples reproducible, and any sample from the same distribution
+// reproduces the shape of Figures 4-5 (see DESIGN.md, substitutions).
+//
+// The same generator also produces the *relational* variants (experiments
+// 1-B and 2-B): a relational attribute holds a single value per tuple, so
+// its "bounding box" is a degenerate point.
+package datagen
+
+import (
+	"math/rand"
+
+	"cdb/internal/rstar"
+)
+
+// Params describe one §5.4 workload.
+type Params struct {
+	NumData    int     // data rectangles (paper: 10,000)
+	NumQueries int     // query rectangles (paper: 100; experiment 3: 500)
+	CoordMax   float64 // upper-left coordinate range [0, CoordMax] (paper: 3000)
+	SizeMin    float64 // minimum height/width (paper: 1)
+	SizeMax    float64 // maximum height/width (paper: 100)
+	Seed       int64   // RNG seed (fixed for reproducibility)
+}
+
+// Paper returns the exact parameters published in §5.4.
+func Paper() Params {
+	return Params{
+		NumData:    10000,
+		NumQueries: 100,
+		CoordMax:   3000,
+		SizeMin:    1,
+		SizeMax:    100,
+		Seed:       2003, // the paper's publication year; any seed reproduces the shape
+	}
+}
+
+// Scaled returns the paper parameters shrunk by factor k (for fast test
+// runs); k = 1 is the paper scale.
+func Scaled(k int) Params {
+	p := Paper()
+	if k > 1 {
+		p.NumData /= k
+		p.NumQueries /= k
+		if p.NumQueries < 10 {
+			p.NumQueries = 10
+		}
+	}
+	return p
+}
+
+// rect draws one rectangle per the paper's recipe: upper-left corner
+// uniform in [0, CoordMax]², width and height uniform in
+// [SizeMin, SizeMax].
+func rect(rng *rand.Rand, p Params) rstar.Rect {
+	x := rng.Float64() * p.CoordMax
+	y := rng.Float64() * p.CoordMax
+	w := p.SizeMin + rng.Float64()*(p.SizeMax-p.SizeMin)
+	h := p.SizeMin + rng.Float64()*(p.SizeMax-p.SizeMin)
+	return rstar.Rect2(x, y, x+w, y+h)
+}
+
+// point draws a degenerate rectangle (a single value per attribute) — the
+// relational-attribute variant.
+func point(rng *rand.Rand, p Params) rstar.Rect {
+	x := rng.Float64() * p.CoordMax
+	y := rng.Float64() * p.CoordMax
+	return rstar.Rect2(x, y, x, y)
+}
+
+// Boxes generates the data file for the constraint-attribute experiments
+// (1-A, 2-A): proper bounding boxes.
+func Boxes(p Params) []rstar.Rect {
+	rng := rand.New(rand.NewSource(p.Seed))
+	out := make([]rstar.Rect, p.NumData)
+	for i := range out {
+		out[i] = rect(rng, p)
+	}
+	return out
+}
+
+// Points generates the data file for the relational-attribute experiments
+// (1-B, 2-B): degenerate boxes (single values).
+func Points(p Params) []rstar.Rect {
+	rng := rand.New(rand.NewSource(p.Seed))
+	out := make([]rstar.Rect, p.NumData)
+	for i := range out {
+		out[i] = point(rng, p)
+	}
+	return out
+}
+
+// TwoAttrQueries generates the query file for the two-attribute
+// experiments (Figure 4): full rectangles restricting both x and y.
+func TwoAttrQueries(p Params) []rstar.Rect {
+	rng := rand.New(rand.NewSource(p.Seed + 1))
+	out := make([]rstar.Rect, p.NumQueries)
+	for i := range out {
+		out[i] = rect(rng, p)
+	}
+	return out
+}
+
+// OneAttrQueries generates the query file for the one-attribute
+// experiments (Figure 5): each query restricts only the given dimension;
+// the other is unbounded ("the bound of the other attribute is set from
+// minimum to maximum").
+func OneAttrQueries(p Params, dim int) []rstar.Rect {
+	rng := rand.New(rand.NewSource(p.Seed + 2))
+	out := make([]rstar.Rect, p.NumQueries)
+	for i := range out {
+		lo := rng.Float64() * p.CoordMax
+		length := p.SizeMin + rng.Float64()*(p.SizeMax-p.SizeMin)
+		out[i] = rstar.UnboundedQuery(2, map[int][2]float64{dim: {lo, lo + length}})
+	}
+	return out
+}
+
+// MixedQueries generates the inferred experiment-3 workload: each query is
+// randomly a one-attribute (either dimension) or two-attribute rectangle.
+func MixedQueries(p Params) []rstar.Rect {
+	rng := rand.New(rand.NewSource(p.Seed + 3))
+	out := make([]rstar.Rect, p.NumQueries)
+	for i := range out {
+		switch rng.Intn(3) {
+		case 0:
+			out[i] = rect(rng, p)
+		case 1:
+			lo := rng.Float64() * p.CoordMax
+			length := p.SizeMin + rng.Float64()*(p.SizeMax-p.SizeMin)
+			out[i] = rstar.UnboundedQuery(2, map[int][2]float64{0: {lo, lo + length}})
+		default:
+			lo := rng.Float64() * p.CoordMax
+			length := p.SizeMin + rng.Float64()*(p.SizeMax-p.SizeMin)
+			out[i] = rstar.UnboundedQuery(2, map[int][2]float64{1: {lo, lo + length}})
+		}
+	}
+	return out
+}
+
+// DiagonalBoxes generates the §5.3 adversarial corner-case data: boxes
+// hugging the main diagonal, so that "x small" and "y large" are each
+// ~50% selective but their conjunction is almost empty.
+func DiagonalBoxes(p Params) []rstar.Rect {
+	rng := rand.New(rand.NewSource(p.Seed + 4))
+	out := make([]rstar.Rect, p.NumData)
+	for i := range out {
+		base := rng.Float64() * p.CoordMax
+		w := p.SizeMin + rng.Float64()*(p.SizeMax-p.SizeMin)
+		h := p.SizeMin + rng.Float64()*(p.SizeMax-p.SizeMin)
+		out[i] = rstar.Rect2(base, base, base+w, base+h)
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+package datagen
+
+import "testing"
+
+func TestPaperParams(t *testing.T) {
+	p := Paper()
+	if p.NumData != 10000 || p.NumQueries != 100 || p.CoordMax != 3000 ||
+		p.SizeMin != 1 || p.SizeMax != 100 {
+		t.Errorf("paper params drifted: %+v", p)
+	}
+}
+
+func TestBoxesDistribution(t *testing.T) {
+	p := Paper()
+	p.NumData = 500
+	boxes := Boxes(p)
+	if len(boxes) != 500 {
+		t.Fatalf("len = %d", len(boxes))
+	}
+	for i, b := range boxes {
+		w := b.Max[0] - b.Min[0]
+		h := b.Max[1] - b.Min[1]
+		if w < p.SizeMin || w > p.SizeMax || h < p.SizeMin || h > p.SizeMax {
+			t.Fatalf("box %d size out of range: %gx%g", i, w, h)
+		}
+		if b.Min[0] < 0 || b.Min[0] > p.CoordMax || b.Min[1] < 0 || b.Min[1] > p.CoordMax {
+			t.Fatalf("box %d corner out of range: %v", i, b)
+		}
+	}
+}
+
+func TestPointsAreDegenerate(t *testing.T) {
+	p := Paper()
+	p.NumData = 200
+	for i, b := range Points(p) {
+		if b.Min[0] != b.Max[0] || b.Min[1] != b.Max[1] {
+			t.Fatalf("point %d not degenerate: %v", i, b)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	p := Paper()
+	p.NumData, p.NumQueries = 100, 20
+	a, b := Boxes(p), Boxes(p)
+	for i := range a {
+		if a[i].Min[0] != b[i].Min[0] || a[i].Max[1] != b[i].Max[1] {
+			t.Fatal("same seed produced different data")
+		}
+	}
+	p2 := p
+	p2.Seed++
+	c := Boxes(p2)
+	same := true
+	for i := range a {
+		if a[i].Min[0] != c[i].Min[0] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+func TestOneAttrQueriesUnbounded(t *testing.T) {
+	p := Paper()
+	p.NumQueries = 50
+	for _, q := range OneAttrQueries(p, 1) {
+		if q.Min[1] < -1e307 || q.Max[1] > 1e307 {
+			t.Fatal("restricted dimension unbounded")
+		}
+		if q.Min[0] > -1e307 || q.Max[0] < 1e307 {
+			t.Fatal("free dimension bounded")
+		}
+		if l := q.Max[1] - q.Min[1]; l < p.SizeMin || l > p.SizeMax {
+			t.Fatalf("query length %g out of range", l)
+		}
+	}
+}
+
+func TestMixedQueriesHaveBothKinds(t *testing.T) {
+	p := Paper()
+	p.NumQueries = 100
+	one, two := 0, 0
+	for _, q := range MixedQueries(p) {
+		restricted := 0
+		for i := 0; i < 2; i++ {
+			if q.Min[i] > -1e307 {
+				restricted++
+			}
+		}
+		switch restricted {
+		case 1:
+			one++
+		case 2:
+			two++
+		default:
+			t.Fatalf("query restricts %d dims", restricted)
+		}
+	}
+	if one == 0 || two == 0 {
+		t.Errorf("mixed workload unbalanced: %d one-attr, %d two-attr", one, two)
+	}
+}
+
+func TestDiagonalBoxesHugDiagonal(t *testing.T) {
+	p := Paper()
+	p.NumData = 300
+	for i, b := range DiagonalBoxes(p) {
+		if b.Min[0] != b.Min[1] {
+			t.Fatalf("box %d not on diagonal: %v", i, b)
+		}
+	}
+}
+
+func TestScaled(t *testing.T) {
+	p := Scaled(10)
+	if p.NumData != 1000 {
+		t.Errorf("scaled data = %d", p.NumData)
+	}
+	if p.NumQueries < 10 {
+		t.Errorf("scaled queries = %d", p.NumQueries)
+	}
+	if full := Scaled(1); full.NumData != 10000 {
+		t.Errorf("unscaled = %d", full.NumData)
+	}
+}

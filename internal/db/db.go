@@ -1,0 +1,354 @@
+// Package db implements the CQA/CDB catalog: a named collection of
+// heterogeneous constraint relations with a human-readable text format,
+// plus program execution against the catalog.
+//
+// The text format, one relation per block:
+//
+//	relation Land
+//	schema landId string relational, x rational constraint, y rational constraint
+//	tuple landId="A" | x >= 0, x <= 2, y >= 0, y <= 2
+//	tuple | x >= 9, y <= 1          # relational attrs NULL
+//	end
+//
+// Blank lines and '#' comments are ignored. The part before '|' binds
+// relational attributes (strings quoted, rationals bare: "age=40" or
+// "age=1/2"); the part after is a comma-separated conjunction of linear
+// constraints over the constraint attributes. Either part may be empty.
+package db
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"cdb/internal/constraint"
+	"cdb/internal/cqa"
+	"cdb/internal/query"
+	"cdb/internal/rational"
+	"cdb/internal/relation"
+	"cdb/internal/schema"
+)
+
+// Database is a named collection of relations.
+type Database struct {
+	rels  map[string]*relation.Relation
+	order []string
+}
+
+// New returns an empty database.
+func New() *Database {
+	return &Database{rels: map[string]*relation.Relation{}}
+}
+
+// Put adds or replaces a relation.
+func (d *Database) Put(name string, r *relation.Relation) error {
+	if name == "" {
+		return fmt.Errorf("db: empty relation name")
+	}
+	if _, exists := d.rels[name]; !exists {
+		d.order = append(d.order, name)
+	}
+	d.rels[name] = r
+	return nil
+}
+
+// Get returns the named relation.
+func (d *Database) Get(name string) (*relation.Relation, bool) {
+	r, ok := d.rels[name]
+	return r, ok
+}
+
+// Drop removes the named relation; it reports whether it existed.
+func (d *Database) Drop(name string) bool {
+	if _, ok := d.rels[name]; !ok {
+		return false
+	}
+	delete(d.rels, name)
+	for i, n := range d.order {
+		if n == name {
+			d.order = append(d.order[:i], d.order[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// Names returns the relation names in insertion order.
+func (d *Database) Names() []string {
+	return append([]string{}, d.order...)
+}
+
+// Env returns the database as a CQA evaluation environment.
+func (d *Database) Env() cqa.Env {
+	env := make(cqa.Env, len(d.rels))
+	for name, r := range d.rels {
+		env[name] = r
+	}
+	return env
+}
+
+// Run parses and executes a query program against the database, returning
+// the final statement's relation. Intermediate results are not persisted.
+func (d *Database) Run(src string) (*relation.Relation, error) {
+	prog, err := query.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	out, err := prog.RunOptimized(d.Env())
+	if err != nil {
+		return nil, err
+	}
+	// User-facing results are normalised: unsatisfiable tuples dropped,
+	// constraint parts simplified, duplicates removed. Semantics unchanged.
+	return out.Normalize(), nil
+}
+
+// --- text serialisation ---
+
+// Save writes the database in the text format.
+func (d *Database) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, name := range d.order {
+		r := d.rels[name]
+		fmt.Fprintf(bw, "relation %s\n", name)
+		var parts []string
+		for _, a := range r.Schema().Attrs() {
+			parts = append(parts, fmt.Sprintf("%s %s %s", a.Name, a.Type, a.Kind))
+		}
+		fmt.Fprintf(bw, "schema %s\n", strings.Join(parts, ", "))
+		for _, t := range r.Sorted() {
+			fmt.Fprintf(bw, "tuple %s\n", formatTuple(t))
+		}
+		fmt.Fprintf(bw, "end\n\n")
+	}
+	return bw.Flush()
+}
+
+func formatTuple(t relation.Tuple) string {
+	rvals := t.RVals()
+	keys := make([]string, 0, len(rvals))
+	for k := range rvals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var rparts []string
+	for _, k := range keys {
+		v := rvals[k]
+		if s, ok := v.AsString(); ok {
+			rparts = append(rparts, fmt.Sprintf("%s=%q", k, s))
+		} else if r, ok := v.AsRat(); ok {
+			rparts = append(rparts, fmt.Sprintf("%s=%s", k, r))
+		}
+	}
+	var cparts []string
+	for _, c := range t.Constraint().Constraints() {
+		cparts = append(cparts, c.String())
+	}
+	return strings.Join(rparts, ", ") + " | " + strings.Join(cparts, ", ")
+}
+
+// SaveFile writes the database to a file.
+func (d *Database) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := d.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Load reads a database in the text format.
+func Load(r io.Reader) (*Database, error) {
+	d := New()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var (
+		curName   string
+		curSchema schema.Schema
+		curRel    *relation.Relation
+		lineNo    int
+	)
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		word, rest := splitWord(line)
+		switch word {
+		case "relation":
+			if curRel != nil {
+				return nil, fmt.Errorf("db: line %d: nested relation block", lineNo)
+			}
+			curName = strings.TrimSpace(rest)
+			if curName == "" {
+				return nil, fmt.Errorf("db: line %d: relation needs a name", lineNo)
+			}
+		case "schema":
+			if curName == "" || curRel != nil {
+				return nil, fmt.Errorf("db: line %d: schema outside relation block", lineNo)
+			}
+			s, err := parseSchema(rest)
+			if err != nil {
+				return nil, fmt.Errorf("db: line %d: %w", lineNo, err)
+			}
+			curSchema = s
+			curRel = relation.New(curSchema)
+		case "tuple":
+			if curRel == nil {
+				return nil, fmt.Errorf("db: line %d: tuple before schema", lineNo)
+			}
+			t, err := parseTuple(rest, curSchema)
+			if err != nil {
+				return nil, fmt.Errorf("db: line %d: %w", lineNo, err)
+			}
+			if err := curRel.Add(t); err != nil {
+				return nil, fmt.Errorf("db: line %d: %w", lineNo, err)
+			}
+		case "end":
+			if curRel == nil {
+				return nil, fmt.Errorf("db: line %d: end outside relation block", lineNo)
+			}
+			if err := d.Put(curName, curRel); err != nil {
+				return nil, err
+			}
+			curName, curRel, curSchema = "", nil, schema.Schema{}
+		default:
+			return nil, fmt.Errorf("db: line %d: unknown directive %q", lineNo, word)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if curRel != nil || curName != "" {
+		return nil, fmt.Errorf("db: unterminated relation block %q", curName)
+	}
+	return d, nil
+}
+
+// LoadFile reads a database file.
+func LoadFile(path string) (*Database, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+func splitWord(line string) (string, string) {
+	i := strings.IndexAny(line, " \t")
+	if i < 0 {
+		return line, ""
+	}
+	return line[:i], strings.TrimSpace(line[i:])
+}
+
+// parseSchema parses "name type kind, name type kind, ...".
+func parseSchema(src string) (schema.Schema, error) {
+	var attrs []schema.Attribute
+	for _, part := range strings.Split(src, ",") {
+		fields := strings.Fields(part)
+		if len(fields) != 3 {
+			return schema.Schema{}, fmt.Errorf("schema item %q: want 'name type kind'", strings.TrimSpace(part))
+		}
+		var typ schema.Type
+		switch fields[1] {
+		case "string":
+			typ = schema.String
+		case "rational":
+			typ = schema.Rational
+		default:
+			return schema.Schema{}, fmt.Errorf("unknown type %q", fields[1])
+		}
+		var kind schema.Kind
+		switch fields[2] {
+		case "relational":
+			kind = schema.Relational
+		case "constraint":
+			kind = schema.Constraint
+		default:
+			return schema.Schema{}, fmt.Errorf("unknown kind %q", fields[2])
+		}
+		attrs = append(attrs, schema.Attribute{Name: fields[0], Type: typ, Kind: kind})
+	}
+	return schema.New(attrs...)
+}
+
+// parseTuple parses "attr=val, attr=val | constraints".
+func parseTuple(src string, s schema.Schema) (relation.Tuple, error) {
+	rpart, cpart := src, ""
+	if i := strings.IndexByte(src, '|'); i >= 0 {
+		rpart, cpart = strings.TrimSpace(src[:i]), strings.TrimSpace(src[i+1:])
+	}
+	rvals := map[string]relation.Value{}
+	if rpart != "" {
+		for _, item := range splitTopLevel(rpart) {
+			eq := strings.IndexByte(item, '=')
+			if eq < 0 {
+				return relation.Tuple{}, fmt.Errorf("binding %q: want attr=value", item)
+			}
+			name := strings.TrimSpace(item[:eq])
+			valStr := strings.TrimSpace(item[eq+1:])
+			attr, ok := s.Attr(name)
+			if !ok {
+				return relation.Tuple{}, fmt.Errorf("unknown attribute %q", name)
+			}
+			switch {
+			case strings.HasPrefix(valStr, `"`):
+				var unq string
+				if _, err := fmt.Sscanf(valStr, "%q", &unq); err != nil {
+					return relation.Tuple{}, fmt.Errorf("bad string literal %s", valStr)
+				}
+				rvals[name] = relation.Str(unq)
+			case attr.Type == schema.Rational:
+				r, err := rational.Parse(valStr)
+				if err != nil {
+					return relation.Tuple{}, err
+				}
+				rvals[name] = relation.Rat(r)
+			default:
+				// Unquoted string value (ids without spaces).
+				rvals[name] = relation.Str(valStr)
+			}
+		}
+	}
+	var con constraint.Conjunction
+	if cpart != "" {
+		cs, err := query.ParseConstraints(cpart)
+		if err != nil {
+			return relation.Tuple{}, err
+		}
+		con = constraint.And(cs...)
+	}
+	return relation.NewTuple(rvals, con), nil
+}
+
+// splitTopLevel splits on commas that are not inside quotes.
+func splitTopLevel(s string) []string {
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, strings.TrimSpace(s[start:]))
+	return out
+}

@@ -1,0 +1,167 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"cdb/internal/datagen"
+)
+
+// testParams shrinks the paper workload for fast unit runs; the full-scale
+// run lives in the bench harness (bench_test.go at the repo root) and
+// cmd/cdbbench.
+func testParams() datagen.Params {
+	p := datagen.Paper()
+	p.NumData = 2000
+	p.NumQueries = 40
+	return p
+}
+
+func TestFigure4ShapesAtTestScale(t *testing.T) {
+	p := testParams()
+	f4a, err := Figure4A(p, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f4b, err := Figure4B(p, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, s, sc := f4a.Totals()
+	if j == 0 || s == 0 || sc == 0 {
+		t.Fatalf("zero totals: %d %d %d", j, s, sc)
+	}
+	if j >= s {
+		t.Errorf("1-A: joint %d >= separate %d", j, s)
+	}
+	jb, sb, _ := f4b.Totals()
+	if jb >= sb {
+		t.Errorf("1-B: joint %d >= separate %d", jb, sb)
+	}
+	if len(f4a.Costs) != p.NumQueries {
+		t.Errorf("cost rows = %d", len(f4a.Costs))
+	}
+}
+
+func TestFigure5ShapesAtTestScale(t *testing.T) {
+	p := testParams()
+	f5a, err := Figure5A(p, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f5b, err := Figure5B(p, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ja, sa, _ := f5a.Totals()
+	if sa >= ja {
+		t.Errorf("2-A: separate %d >= joint %d", sa, ja)
+	}
+	jb, sb, _ := f5b.Totals()
+	if sb >= jb {
+		t.Errorf("2-B: separate %d >= joint %d", sb, jb)
+	}
+}
+
+func TestExperiment3AndCorner(t *testing.T) {
+	p := testParams()
+	e3, err := Experiment3(p, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e3.Costs) != p.NumQueries*5 {
+		t.Errorf("experiment 3 ran %d queries, want %d", len(e3.Costs), p.NumQueries*5)
+	}
+	c, err := Corner(p, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jc, sc, _ := c.Totals()
+	if jc*3 >= sc {
+		t.Errorf("corner: joint %d vs separate %d — expected a large gap", jc, sc)
+	}
+}
+
+func TestVerifyShapes(t *testing.T) {
+	p := testParams()
+	f4a, _ := Figure4A(p, 512)
+	f4b, _ := Figure4B(p, 512)
+	f5a, _ := Figure5A(p, 512)
+	f5b, _ := Figure5B(p, 512)
+	corner, _ := Corner(p, 512)
+	if bad := VerifyShapes(f4a, f4b, f5a, f5b, corner); len(bad) != 0 {
+		t.Errorf("shape violations: %v", bad)
+	}
+	// Violations are detected: swap joint/separate in a fake series.
+	fake := f4a
+	fake.Costs = append([]QueryCost{}, f4a.Costs...)
+	for i := range fake.Costs {
+		fake.Costs[i].Joint, fake.Costs[i].Separate = fake.Costs[i].Separate, fake.Costs[i].Joint
+	}
+	if bad := VerifyShapes(fake, f4b, f5a, f5b, corner); len(bad) == 0 {
+		t.Error("swapped series not flagged")
+	}
+}
+
+func TestBucketsAndRender(t *testing.T) {
+	s := Series{Name: "test", XLabel: "x", Costs: []QueryCost{
+		{X: 0, Joint: 2, Separate: 6, Scan: 10},
+		{X: 10, Joint: 4, Separate: 8, Scan: 10},
+		{X: 100, Joint: 6, Separate: 20, Scan: 10},
+	}}
+	bks := s.Buckets(2)
+	if len(bks) != 2 {
+		t.Fatalf("buckets = %d", len(bks))
+	}
+	if bks[0].N != 2 || bks[1].N != 1 {
+		t.Errorf("bucket counts = %d, %d", bks[0].N, bks[1].N)
+	}
+	if bks[0].AvgJoint != 3 {
+		t.Errorf("avg joint = %g", bks[0].AvgJoint)
+	}
+	out := s.Render(2)
+	for _, want := range []string{"test", "TOTAL", "joint", "separate"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Degenerate cases must not panic.
+	if got := (Series{}).Buckets(3); got != nil {
+		t.Errorf("empty buckets = %v", got)
+	}
+	one := Series{Costs: []QueryCost{{X: 5}}}
+	if got := one.Buckets(2); len(got) != 2 {
+		t.Errorf("single-point buckets = %v", got)
+	}
+}
+
+// TestFigure4SmallAreaObservation checks §5.4.1 conclusion 2: the joint
+// index's access count depends much less on query selectivity (area) than
+// the separate indices'.
+func TestFigure4SmallAreaObservation(t *testing.T) {
+	p := testParams()
+	p.NumQueries = 60
+	f4a, err := Figure4A(p, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bks := f4a.Buckets(4)
+	var first, last *Bucket
+	for i := range bks {
+		if bks[i].N > 0 {
+			if first == nil {
+				first = &bks[i]
+			}
+			last = &bks[i]
+		}
+	}
+	if first == nil || last == nil || first == last {
+		t.Skip("not enough buckets at test scale")
+	}
+	growthJoint := last.AvgJoint - first.AvgJoint
+	growthSep := last.AvgSep - first.AvgSep
+	if growthJoint > growthSep {
+		t.Errorf("joint accesses grew by %.1f vs separate %.1f — paper expects joint to be flatter",
+			growthJoint, growthSep)
+	}
+}

@@ -1,0 +1,104 @@
+// Package geometry implements exact rational plane geometry — the "vector
+// representation" substrate of the paper.
+//
+// Two roles:
+//
+//   - §4: the whole-feature spatial operators (Buffer-Join, k-Nearest)
+//     compare distances between spatial features. All comparisons are done
+//     on *squared* distances, which are rational, so every predicate in the
+//     spatial operator layer is decided exactly — no floating point on any
+//     decision path (Euclidean distance itself is irrational, which is
+//     precisely why the paper's raw `distance` operator is unsafe).
+//
+//   - §6: the paper argues the CDB middle layer is representation-neutral
+//     and that spatial data is often better stored geometrically (vertex
+//     lists) than as constraints. This package provides that alternative
+//     representation; package convert maps losslessly between the two.
+//
+// All predicates (orientation, intersection, containment) are exact sign
+// tests over rationals.
+package geometry
+
+import (
+	"fmt"
+
+	"cdb/internal/rational"
+)
+
+// Point is an exact rational point in the plane.
+type Point struct {
+	X, Y rational.Rat
+}
+
+// Pt builds a point from int64 coordinates.
+func Pt(x, y int64) Point {
+	return Point{X: rational.FromInt(x), Y: rational.FromInt(y)}
+}
+
+// PtQ builds a point from rational strings; it panics on malformed input
+// (fixture helper).
+func PtQ(x, y string) Point {
+	return Point{X: rational.MustParse(x), Y: rational.MustParse(y)}
+}
+
+// Add returns p + o (vector addition).
+func (p Point) Add(o Point) Point {
+	return Point{X: p.X.Add(o.X), Y: p.Y.Add(o.Y)}
+}
+
+// Sub returns p - o.
+func (p Point) Sub(o Point) Point {
+	return Point{X: p.X.Sub(o.X), Y: p.Y.Sub(o.Y)}
+}
+
+// Scale returns k·p.
+func (p Point) Scale(k rational.Rat) Point {
+	return Point{X: p.X.Mul(k), Y: p.Y.Mul(k)}
+}
+
+// Dot returns the dot product p·o.
+func (p Point) Dot(o Point) rational.Rat {
+	return p.X.Mul(o.X).Add(p.Y.Mul(o.Y))
+}
+
+// Cross returns the 2-D cross product p × o (the z component).
+func (p Point) Cross(o Point) rational.Rat {
+	return p.X.Mul(o.Y).Sub(p.Y.Mul(o.X))
+}
+
+// Equal reports coordinate-wise equality.
+func (p Point) Equal(o Point) bool {
+	return p.X.Equal(o.X) && p.Y.Equal(o.Y)
+}
+
+// SqDist returns the exact squared Euclidean distance |p-o|².
+func (p Point) SqDist(o Point) rational.Rat {
+	d := p.Sub(o)
+	return d.Dot(d)
+}
+
+// Norm2 returns |p|².
+func (p Point) Norm2() rational.Rat { return p.Dot(p) }
+
+func (p Point) String() string {
+	return fmt.Sprintf("(%s, %s)", p.X, p.Y)
+}
+
+// Orientation returns the sign of the cross product (b-a) × (c-a):
+// +1 when a→b→c turns counter-clockwise, -1 clockwise, 0 collinear.
+func Orientation(a, b, c Point) int {
+	return b.Sub(a).Cross(c.Sub(a)).Sign()
+}
+
+// UnitCirclePoint returns the exact rational point on the unit circle with
+// tan-half-angle parameter t: ((1-t²)/(1+t²), 2t/(1+t²)). Every rational t
+// yields a rational point with x²+y² = 1 exactly — the substrate for exact
+// polygonal disc approximations in Buffer.
+func UnitCirclePoint(t rational.Rat) Point {
+	t2 := t.Mul(t)
+	den := rational.One.Add(t2)
+	return Point{
+		X: rational.One.Sub(t2).Div(den),
+		Y: rational.Two.Mul(t).Div(den),
+	}
+}

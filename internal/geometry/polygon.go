@@ -1,0 +1,319 @@
+package geometry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cdb/internal/rational"
+)
+
+// Polygon is a simple polygon given by its vertex ring (no repeated final
+// vertex). Constructors normalise orientation to counter-clockwise.
+type Polygon struct {
+	verts []Point
+}
+
+// NewPolygon validates and builds a simple polygon: at least 3 vertices,
+// no zero-length edges, non-zero area. The vertex order is normalised to
+// counter-clockwise. (Full self-intersection checking is O(n²) and is
+// performed, as polygons here are small feature outlines.)
+func NewPolygon(verts []Point) (Polygon, error) {
+	if len(verts) < 3 {
+		return Polygon{}, fmt.Errorf("geometry: polygon needs >= 3 vertices, got %d", len(verts))
+	}
+	n := len(verts)
+	for i := 0; i < n; i++ {
+		if verts[i].Equal(verts[(i+1)%n]) {
+			return Polygon{}, fmt.Errorf("geometry: zero-length edge at vertex %d", i)
+		}
+	}
+	// Self-intersection: non-adjacent edges must not touch.
+	for i := 0; i < n; i++ {
+		si := Segment{A: verts[i], B: verts[(i+1)%n]}
+		for j := i + 1; j < n; j++ {
+			adjacent := j == i+1 || (i == 0 && j == n-1)
+			if adjacent {
+				continue
+			}
+			sj := Segment{A: verts[j], B: verts[(j+1)%n]}
+			if si.Intersects(sj) {
+				return Polygon{}, fmt.Errorf("geometry: edges %d and %d intersect (not a simple polygon)", i, j)
+			}
+		}
+	}
+	p := Polygon{verts: append([]Point{}, verts...)}
+	a2 := p.twiceSignedArea()
+	if a2.IsZero() {
+		return Polygon{}, fmt.Errorf("geometry: polygon has zero area")
+	}
+	if a2.Sign() < 0 {
+		for i, j := 0, len(p.verts)-1; i < j; i, j = i+1, j-1 {
+			p.verts[i], p.verts[j] = p.verts[j], p.verts[i]
+		}
+	}
+	return p, nil
+}
+
+// MustPolygon is like NewPolygon but panics on error (fixture helper).
+func MustPolygon(verts ...Point) Polygon {
+	p, err := NewPolygon(verts)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// RectPoly returns the axis-aligned rectangular polygon [x0,x1]×[y0,y1].
+func RectPoly(x0, y0, x1, y1 int64) Polygon {
+	return MustPolygon(Pt(x0, y0), Pt(x1, y0), Pt(x1, y1), Pt(x0, y1))
+}
+
+// Vertices returns the CCW vertex ring. The result must not be mutated.
+func (p Polygon) Vertices() []Point { return p.verts }
+
+// Len returns the number of vertices.
+func (p Polygon) Len() int { return len(p.verts) }
+
+// Edges returns the edge segments in CCW order.
+func (p Polygon) Edges() []Segment {
+	n := len(p.verts)
+	out := make([]Segment, n)
+	for i := 0; i < n; i++ {
+		out[i] = Segment{A: p.verts[i], B: p.verts[(i+1)%n]}
+	}
+	return out
+}
+
+// twiceSignedArea returns 2·(signed area) via the shoelace formula.
+func (p Polygon) twiceSignedArea() rational.Rat {
+	sum := rational.Zero
+	n := len(p.verts)
+	for i := 0; i < n; i++ {
+		sum = sum.Add(p.verts[i].Cross(p.verts[(i+1)%n]))
+	}
+	return sum
+}
+
+// Area returns the exact area of the polygon.
+func (p Polygon) Area() rational.Rat {
+	return p.twiceSignedArea().Abs().Mul(rational.Half)
+}
+
+// IsConvex reports whether the polygon is convex (collinear vertices
+// allowed).
+func (p Polygon) IsConvex() bool {
+	n := len(p.verts)
+	for i := 0; i < n; i++ {
+		if Orientation(p.verts[i], p.verts[(i+1)%n], p.verts[(i+2)%n]) < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Contains reports whether the point lies in the closed polygon (boundary
+// included), via exact ray crossing with boundary short-circuit.
+func (p Polygon) Contains(pt Point) bool {
+	n := len(p.verts)
+	for i := 0; i < n; i++ {
+		if (Segment{A: p.verts[i], B: p.verts[(i+1)%n]}).Contains(pt) {
+			return true
+		}
+	}
+	// Crossing number against a ray to +x. Counting rule: an edge crosses
+	// the ray when one endpoint is strictly above and the other is at or
+	// below, and the intersection is strictly right of pt. Using the
+	// standard half-open rule avoids double counting at vertices.
+	inside := false
+	for i := 0; i < n; i++ {
+		a, b := p.verts[i], p.verts[(i+1)%n]
+		aAbove := a.Y.Cmp(pt.Y) > 0
+		bAbove := b.Y.Cmp(pt.Y) > 0
+		if aAbove == bAbove {
+			continue
+		}
+		// x coordinate where edge crosses the horizontal line through pt:
+		// xc = a.X + (pt.Y - a.Y) * (b.X - a.X) / (b.Y - a.Y)
+		dy := b.Y.Sub(a.Y)
+		xc := a.X.Add(pt.Y.Sub(a.Y).Mul(b.X.Sub(a.X)).Div(dy))
+		if pt.X.Less(xc) {
+			inside = !inside
+		}
+	}
+	return inside
+}
+
+// Intersects reports whether two closed polygons share any point: edge
+// crossing, or one containing a vertex of the other.
+func (p Polygon) Intersects(o Polygon) bool {
+	for _, e1 := range p.Edges() {
+		for _, e2 := range o.Edges() {
+			if e1.Intersects(e2) {
+				return true
+			}
+		}
+	}
+	return p.Contains(o.verts[0]) || o.Contains(p.verts[0])
+}
+
+// SqDistToPoint returns the exact squared distance from the closed polygon
+// to the point: zero when contained, else the minimum over the edges.
+func (p Polygon) SqDistToPoint(pt Point) rational.Rat {
+	if p.Contains(pt) {
+		return rational.Zero
+	}
+	min := p.Edges()[0].SqDistToPoint(pt)
+	for _, e := range p.Edges()[1:] {
+		min = rational.Min(min, e.SqDistToPoint(pt))
+	}
+	return min
+}
+
+// SqDistToPolygon returns the exact squared distance between two closed
+// polygons: zero when they intersect, else the minimum over edge pairs.
+func (p Polygon) SqDistToPolygon(o Polygon) rational.Rat {
+	if p.Intersects(o) {
+		return rational.Zero
+	}
+	var min rational.Rat
+	first := true
+	for _, e1 := range p.Edges() {
+		for _, e2 := range o.Edges() {
+			d := e1.SqDistToSegment(e2)
+			if first || d.Less(min) {
+				min, first = d, false
+			}
+		}
+	}
+	return min
+}
+
+// SqDistToSegment returns the exact squared distance between the closed
+// polygon and a segment.
+func (p Polygon) SqDistToSegment(s Segment) rational.Rat {
+	if p.Contains(s.A) || p.Contains(s.B) {
+		return rational.Zero
+	}
+	var min rational.Rat
+	first := true
+	for _, e := range p.Edges() {
+		d := e.SqDistToSegment(s)
+		if first || d.Less(min) {
+			min, first = d, false
+		}
+	}
+	return min
+}
+
+// BBox returns the exact axis-aligned bounding box (minX, minY, maxX, maxY).
+func (p Polygon) BBox() (minX, minY, maxX, maxY rational.Rat) {
+	minX, maxX = p.verts[0].X, p.verts[0].X
+	minY, maxY = p.verts[0].Y, p.verts[0].Y
+	for _, v := range p.verts[1:] {
+		minX, maxX = rational.Min(minX, v.X), rational.Max(maxX, v.X)
+		minY, maxY = rational.Min(minY, v.Y), rational.Max(maxY, v.Y)
+	}
+	return
+}
+
+// Triangulate decomposes the polygon into triangles by ear clipping —
+// the convex decomposition required to represent a (possibly concave)
+// feature as a union of convex constraint tuples (§6 of the paper: "the
+// constraint data model requires us to represent this feature as a union
+// of convex polyhedra"). Exact orientation tests make this robust.
+func (p Polygon) Triangulate() ([]Polygon, error) {
+	verts := append([]Point{}, p.verts...)
+	var out []Polygon
+	for len(verts) > 3 {
+		n := len(verts)
+		clipped := false
+		for i := 0; i < n; i++ {
+			prev, cur, next := verts[(i+n-1)%n], verts[i], verts[(i+1)%n]
+			if Orientation(prev, cur, next) <= 0 {
+				continue // reflex or collinear vertex: not an ear
+			}
+			// No other vertex may lie inside the candidate ear.
+			ear := Polygon{verts: []Point{prev, cur, next}}
+			ok := true
+			for j := 0; j < n; j++ {
+				v := verts[j]
+				if v.Equal(prev) || v.Equal(cur) || v.Equal(next) {
+					continue
+				}
+				if ear.Contains(v) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			out = append(out, ear)
+			verts = append(verts[:i], verts[i+1:]...)
+			clipped = true
+			break
+		}
+		if !clipped {
+			return nil, fmt.Errorf("geometry: ear clipping stuck (polygon not simple?)")
+		}
+	}
+	out = append(out, Polygon{verts: verts})
+	return out, nil
+}
+
+// ConvexHull returns the convex hull of the points (Andrew's monotone
+// chain, exact). Collinear points on the hull boundary are dropped. It
+// returns an error when all points are collinear.
+func ConvexHull(pts []Point) (Polygon, error) {
+	if len(pts) < 3 {
+		return Polygon{}, fmt.Errorf("geometry: hull needs >= 3 points")
+	}
+	ps := append([]Point{}, pts...)
+	sort.Slice(ps, func(i, j int) bool {
+		if c := ps[i].X.Cmp(ps[j].X); c != 0 {
+			return c < 0
+		}
+		return ps[i].Y.Cmp(ps[j].Y) < 0
+	})
+	// Dedup.
+	uniq := ps[:0]
+	for i, p := range ps {
+		if i == 0 || !p.Equal(uniq[len(uniq)-1]) {
+			uniq = append(uniq, p)
+		}
+	}
+	ps = uniq
+	if len(ps) < 3 {
+		return Polygon{}, fmt.Errorf("geometry: hull of < 3 distinct points")
+	}
+	build := func(points []Point) []Point {
+		var h []Point
+		for _, p := range points {
+			for len(h) >= 2 && Orientation(h[len(h)-2], h[len(h)-1], p) <= 0 {
+				h = h[:len(h)-1]
+			}
+			h = append(h, p)
+		}
+		return h
+	}
+	lower := build(ps)
+	rev := make([]Point, len(ps))
+	for i, p := range ps {
+		rev[len(ps)-1-i] = p
+	}
+	upper := build(rev)
+	hull := append(lower[:len(lower)-1], upper[:len(upper)-1]...)
+	if len(hull) < 3 {
+		return Polygon{}, fmt.Errorf("geometry: points are collinear")
+	}
+	return NewPolygon(hull)
+}
+
+func (p Polygon) String() string {
+	parts := make([]string, len(p.verts))
+	for i, v := range p.verts {
+		parts[i] = v.String()
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}

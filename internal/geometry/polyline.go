@@ -1,0 +1,110 @@
+package geometry
+
+import (
+	"fmt"
+	"strings"
+
+	"cdb/internal/rational"
+)
+
+// Polyline is a connected chain of segments — the vector representation of
+// linear spatial features such as roads, rivers, or hurricane trajectories
+// (§6 of the paper).
+type Polyline struct {
+	verts []Point
+}
+
+// NewPolyline validates and builds a polyline: at least 2 vertices and no
+// zero-length segments.
+func NewPolyline(verts []Point) (Polyline, error) {
+	if len(verts) < 2 {
+		return Polyline{}, fmt.Errorf("geometry: polyline needs >= 2 vertices, got %d", len(verts))
+	}
+	for i := 0; i+1 < len(verts); i++ {
+		if verts[i].Equal(verts[i+1]) {
+			return Polyline{}, fmt.Errorf("geometry: zero-length segment at vertex %d", i)
+		}
+	}
+	return Polyline{verts: append([]Point{}, verts...)}, nil
+}
+
+// MustPolyline is like NewPolyline but panics on error (fixture helper).
+func MustPolyline(verts ...Point) Polyline {
+	l, err := NewPolyline(verts)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// Vertices returns the vertex chain. The result must not be mutated.
+func (l Polyline) Vertices() []Point { return l.verts }
+
+// Segments returns the chain's segments in order.
+func (l Polyline) Segments() []Segment {
+	out := make([]Segment, len(l.verts)-1)
+	for i := 0; i+1 < len(l.verts); i++ {
+		out[i] = Segment{A: l.verts[i], B: l.verts[i+1]}
+	}
+	return out
+}
+
+// SqDistToPoint returns the exact squared distance from the polyline to a
+// point.
+func (l Polyline) SqDistToPoint(p Point) rational.Rat {
+	segs := l.Segments()
+	min := segs[0].SqDistToPoint(p)
+	for _, s := range segs[1:] {
+		min = rational.Min(min, s.SqDistToPoint(p))
+	}
+	return min
+}
+
+// SqDistToPolyline returns the exact squared distance between two
+// polylines.
+func (l Polyline) SqDistToPolyline(o Polyline) rational.Rat {
+	var min rational.Rat
+	first := true
+	for _, s1 := range l.Segments() {
+		for _, s2 := range o.Segments() {
+			d := s1.SqDistToSegment(s2)
+			if first || d.Less(min) {
+				min, first = d, false
+			}
+		}
+	}
+	return min
+}
+
+// SqDistToPolygon returns the exact squared distance between the polyline
+// and a closed polygon.
+func (l Polyline) SqDistToPolygon(p Polygon) rational.Rat {
+	var min rational.Rat
+	first := true
+	for _, s := range l.Segments() {
+		d := p.SqDistToSegment(s)
+		if first || d.Less(min) {
+			min, first = d, false
+		}
+	}
+	return min
+}
+
+// BBox returns the exact bounding box of the polyline.
+func (l Polyline) BBox() (minX, minY, maxX, maxY rational.Rat) {
+	minX, maxX = l.verts[0].X, l.verts[0].X
+	minY, maxY = l.verts[0].Y, l.verts[0].Y
+	for _, v := range l.verts[1:] {
+		minX, maxX = rational.Min(minX, v.X), rational.Max(maxX, v.X)
+		minY, maxY = rational.Min(minY, v.Y), rational.Max(maxY, v.Y)
+	}
+	return
+}
+
+func (l Polyline) String() string {
+	parts := make([]string, len(l.verts))
+	for i, v := range l.verts {
+		parts[i] = v.String()
+	}
+	return strings.Join(parts, "-")
+}

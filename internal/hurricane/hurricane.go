@@ -1,0 +1,175 @@
+// Package hurricane builds the paper's §3.3 Hurricane Database — the case
+// study of the heterogeneous data model — and its five typical queries.
+//
+// The three relations follow the paper's schemas exactly:
+//
+//	Land          [landId: string, relational; x, y: rational, constraint]
+//	Landownership [name: string, relational; t: rational, constraint;
+//	               landId: string, relational]
+//	Hurricane     [t, x, y: rational, constraint]
+//
+// (The paper prints the attribute both as "landID" and "landId"; we use
+// "landId" uniformly so the natural join works by name.)
+//
+// The concrete instance of Figure 2 is not recoverable from the text (the
+// figure is an image), so this package reconstructs a consistent instance:
+// three parcels, four ownership records, and a two-segment hurricane
+// track that crosses parcels A and B but misses C. Queries 1-3 are the
+// paper's; the text after query 3 is cut off in the available copy, so
+// queries 4-5 are reconstructed in the spirit of §4 (whole-feature
+// operators over the same data). All of this is documented in DESIGN.md.
+package hurricane
+
+import (
+	"cdb/internal/constraint"
+	"cdb/internal/db"
+	"cdb/internal/rational"
+	"cdb/internal/relation"
+	"cdb/internal/schema"
+)
+
+func q(s string) rational.Rat { return rational.MustParse(s) }
+
+func ge(v, k string) constraint.Constraint { return constraint.GeConst(v, q(k)) }
+func le(v, k string) constraint.Constraint { return constraint.LeConst(v, q(k)) }
+
+// Build constructs the Hurricane Database instance.
+//
+// Geometry (all coordinates rational):
+//
+//	parcel A: [0,4] x [0,4]      owned by ann  (t in [0,5]),
+//	                             then  by bob  (t in [6,10])
+//	parcel B: [5,9] x [0,4]      owned by carol (t in [0,10])
+//	parcel C: [0,4] x [5,9]      owned by dave  (t in [2,8])
+//
+//	hurricane track (x = t - 1):
+//	  segment 1: t in [0,6],  y = 2
+//	  segment 2: t in [6,11], y = 2 + (t-6)/2
+//
+// so the eye crosses A while 1 <= t <= 5 and B while 6 <= t <= 10, and
+// never enters C.
+//
+// A fourth relation Track is the spatial (feature-ID-keyed) view of the
+// hurricane path used by the whole-feature queries: one feature per track
+// segment.
+func Build() *db.Database {
+	d := db.New()
+
+	land := relation.New(schema.MustNew(
+		schema.Rel("landId", schema.String), schema.Con("x"), schema.Con("y")))
+	addParcel := func(id string, x0, x1, y0, y1 string) {
+		land.MustAdd(relation.NewTuple(
+			map[string]relation.Value{"landId": relation.Str(id)},
+			constraint.And(ge("x", x0), le("x", x1), ge("y", y0), le("y", y1))))
+	}
+	addParcel("A", "0", "4", "0", "4")
+	addParcel("B", "5", "9", "0", "4")
+	addParcel("C", "0", "4", "5", "9")
+	mustPut(d, "Land", land)
+
+	owners := relation.New(schema.MustNew(
+		schema.Rel("name", schema.String), schema.Con("t"),
+		schema.Rel("landId", schema.String)))
+	addOwner := func(name, id, t0, t1 string) {
+		owners.MustAdd(relation.NewTuple(
+			map[string]relation.Value{
+				"name":   relation.Str(name),
+				"landId": relation.Str(id),
+			},
+			constraint.And(ge("t", t0), le("t", t1))))
+	}
+	addOwner("ann", "A", "0", "5")
+	addOwner("bob", "A", "6", "10")
+	addOwner("carol", "B", "0", "10")
+	addOwner("dave", "C", "2", "8")
+	mustPut(d, "Landownership", owners)
+
+	hurr := relation.New(schema.MustNew(
+		schema.Con("t"), schema.Con("x"), schema.Con("y")))
+	// Segment 1: x = t - 1, y = 2, 0 <= t <= 6.
+	hurr.MustAdd(relation.ConstraintTuple(constraint.And(
+		constraint.MustNew(constraint.Var("x"), "=",
+			constraint.Var("t").Sub(constraint.ConstInt(1))),
+		constraint.EqConst("y", q("2")),
+		ge("t", "0"), le("t", "6"))))
+	// Segment 2: x = t - 1, y = 2 + (t-6)/2, 6 <= t <= 11.
+	hurr.MustAdd(relation.ConstraintTuple(constraint.And(
+		constraint.MustNew(constraint.Var("x"), "=",
+			constraint.Var("t").Sub(constraint.ConstInt(1))),
+		constraint.MustNew(constraint.Var("y"), "=",
+			constraint.Var("t").Scale(q("1/2")).Add(constraint.Const(q("-1")))),
+		ge("t", "6"), le("t", "11"))))
+	mustPut(d, "Hurricane", hurr)
+
+	// Track: the spatial projection of the hurricane path, keyed by
+	// segment ID (a spatial constraint relation in the §4.2 sense).
+	track := relation.New(schema.MustNew(
+		schema.Rel("segId", schema.String), schema.Con("x"), schema.Con("y")))
+	// Segment 1 spans x in [-1, 5] at y = 2.
+	track.MustAdd(relation.NewTuple(
+		map[string]relation.Value{"segId": relation.Str("seg1")},
+		constraint.And(constraint.EqConst("y", q("2")), ge("x", "-1"), le("x", "5"))))
+	// Segment 2: from (5,2) to (10, 9/2): y = 2 + (x-5)/2.
+	track.MustAdd(relation.NewTuple(
+		map[string]relation.Value{"segId": relation.Str("seg2")},
+		constraint.And(
+			constraint.MustNew(constraint.Var("y"), "=",
+				constraint.Var("x").Scale(q("1/2")).Add(constraint.Const(q("-1/2")))),
+			ge("x", "5"), le("x", "10"))))
+	mustPut(d, "Track", track)
+
+	return d
+}
+
+func mustPut(d *db.Database, name string, r *relation.Relation) {
+	if err := d.Put(name, r); err != nil {
+		panic(err)
+	}
+}
+
+// NamedQuery is one case-study query: its name, the program text in the
+// paper's ASCII query language, and what it asks.
+type NamedQuery struct {
+	Name        string
+	Description string
+	Text        string
+}
+
+// Queries returns the five case-study queries. 1-3 are the paper's §3.3
+// queries verbatim (modulo the landID/landId spelling); 4-5 are
+// reconstructed whole-feature queries (§4) — the available text of the
+// paper cuts off after query 3.
+func Queries() []NamedQuery {
+	return []NamedQuery{
+		{
+			Name:        "Query 1",
+			Description: "who owned Land A and when",
+			Text: `R0 = select landId = A from Landownership
+R1 = project R0 on name, t`,
+		},
+		{
+			Name:        "Query 2",
+			Description: "all landIds that the hurricane passed",
+			Text: `R0 = join Hurricane and Land
+R1 = project R0 on landId`,
+		},
+		{
+			Name:        "Query 3",
+			Description: "names of those whose land was hit by the hurricane between time 4 and 9",
+			Text: `R0 = join Landownership and Land
+R1 = join R0 and Hurricane
+R2 = select t >= 4, t <= 9 from R1
+R3 = project R2 on name`,
+		},
+		{
+			Name:        "Query 4 (reconstructed)",
+			Description: "parcels within distance 1 of the hurricane track (Buffer-Join)",
+			Text:        `R0 = buffer-join Land and Track within 1`,
+		},
+		{
+			Name:        "Query 5 (reconstructed)",
+			Description: "the 2 parcels nearest to the weather station at (10, 10) (k-Nearest)",
+			Text:        `R0 = k-nearest 2 in Land to point(10, 10)`,
+		},
+	}
+}

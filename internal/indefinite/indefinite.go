@@ -1,0 +1,277 @@
+// Package indefinite implements constraint-specified incomplete
+// information, the §3.1 aside:
+//
+//	"Incomplete information can be specified by constraints, and has
+//	 been discussed in the context of constraint databases. Just as for
+//	 unknown data, the semantics of this constraint specification is
+//	 different from constraint tuples. The semantics is disjunctive
+//	 rather than conjunctive; one of the values satisfying the
+//	 constraints is correct, rather than all of them."
+//
+// An indefinite tuple reuses the heterogeneous tuple shape, but its
+// constraint part now describes what is *known* about a single underlying
+// value: any one satisfying assignment may be the truth. Queries
+// therefore have two answer modes (Koubarakis):
+//
+//   - possible: the condition holds in at least one completion
+//     (satisfiability of the conjunction);
+//   - certain: the condition holds in every completion (entailment —
+//     the conjunction with the condition's complement is unsatisfiable).
+//
+// Certain answers are monotone refinements of possible answers:
+// certain ⊆ possible always (for consistent tuples).
+package indefinite
+
+import (
+	"fmt"
+
+	"cdb/internal/constraint"
+	"cdb/internal/cqa"
+	"cdb/internal/relation"
+	"cdb/internal/schema"
+)
+
+// Relation is a set of indefinite tuples over a heterogeneous schema.
+// Relational attributes hold definite values (or NULL = truly unknown and
+// treated as never-certain, possibly-anything is not assumed); constraint
+// attributes carry the indefinite constraint specification.
+type Relation struct {
+	inner *relation.Relation
+}
+
+// New wraps a heterogeneous relation, reinterpreting its constraint parts
+// disjunctively. Tuples with unsatisfiable constraint parts are
+// *inconsistent* (they describe no possible world) and are rejected.
+func New(r *relation.Relation) (*Relation, error) {
+	for i, t := range r.Tuples() {
+		if !t.IsSatisfiable() {
+			return nil, fmt.Errorf("indefinite: tuple %d is inconsistent (no completion): %s", i, t)
+		}
+	}
+	return &Relation{inner: r}, nil
+}
+
+// Schema returns the schema.
+func (r *Relation) Schema() schema.Schema { return r.inner.Schema() }
+
+// Len returns the number of indefinite tuples.
+func (r *Relation) Len() int { return r.inner.Len() }
+
+// Inner returns the underlying heterogeneous relation (whose conjunctive
+// reading is the "set of possible values" view).
+func (r *Relation) Inner() *relation.Relation { return r.inner }
+
+// Mode selects the answer semantics.
+type Mode int
+
+const (
+	// Possibly: the condition holds in some completion.
+	Possibly Mode = iota
+	// Certainly: the condition holds in every completion.
+	Certainly
+)
+
+func (m Mode) String() string {
+	if m == Certainly {
+		return "certainly"
+	}
+	return "possibly"
+}
+
+// Select returns the indefinite tuples whose condition holds possibly or
+// certainly. The output keeps each tuple's original constraint
+// specification (selection on indefinite data filters tuples; it must not
+// strengthen what is known about them).
+func (r *Relation) Select(cond cqa.Condition, mode Mode) (*Relation, error) {
+	if err := cond.Validate(r.inner.Schema()); err != nil {
+		return nil, err
+	}
+	out := relation.New(r.inner.Schema())
+	for _, t := range r.inner.Tuples() {
+		ok, err := holds(t, r.inner.Schema(), cond, mode)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			if err := out.Add(t); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return &Relation{inner: out}, nil
+}
+
+// holds decides one tuple against the condition under the mode.
+//
+// Certainly distributes over conjunction, so it is decided atom by atom.
+// Possibly does not (two atoms can each be possible but not jointly), so
+// it is decided by joint satisfiability, branching over the disjunctive
+// (!=) atoms.
+func holds(t relation.Tuple, s schema.Schema, cond cqa.Condition, mode Mode) (bool, error) {
+	if mode == Certainly {
+		for _, a := range cond {
+			ok, err := atomHolds(t, s, a, Certainly)
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+	// Possibly: ground string atoms (definite) first, then search the
+	// branch product of the linear atoms for one satisfiable completion.
+	var branchLists [][]constraint.Constraint
+	for _, a := range cond {
+		switch at := a.(type) {
+		case cqa.StringAtom:
+			ok, err := atomHolds(t, s, at, Possibly)
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				return false, nil
+			}
+		case cqa.LinearAtom:
+			cs, err := linearToConstraints(t, s, at)
+			if err != nil {
+				return false, err
+			}
+			if cs == nil {
+				return false, nil
+			}
+			branchLists = append(branchLists, cs)
+		default:
+			return false, fmt.Errorf("indefinite: unsupported atom %T", a)
+		}
+	}
+	var search func(i int, con constraint.Conjunction) bool
+	search = func(i int, con constraint.Conjunction) bool {
+		if i == len(branchLists) {
+			return con.IsSatisfiable()
+		}
+		for _, c := range branchLists[i] {
+			if search(i+1, con.With(c)) {
+				return true
+			}
+		}
+		return false
+	}
+	return search(0, t.Constraint()), nil
+}
+
+// linearToConstraints grounds a linear atom against the tuple's definite
+// relational values; it returns nil when a referenced relational
+// attribute is NULL (no completion can be claimed). For Ne the two strict
+// branches are returned.
+func linearToConstraints(t relation.Tuple, s schema.Schema, a cqa.LinearAtom) ([]constraint.Constraint, error) {
+	e := a.Expr
+	for _, v := range a.Expr.Vars() {
+		attr, ok := s.Attr(v)
+		if !ok {
+			return nil, fmt.Errorf("indefinite: unknown attribute %q", v)
+		}
+		if attr.Kind != schema.Relational {
+			continue
+		}
+		val, bound := t.RVal(v)
+		if !bound {
+			return nil, nil
+		}
+		rv, _ := val.AsRat()
+		e = e.Substitute(v, constraint.Const(rv))
+	}
+	switch a.Op {
+	case cqa.OpEq:
+		return []constraint.Constraint{{Expr: e, Op: constraint.Eq}}, nil
+	case cqa.OpLe:
+		return []constraint.Constraint{{Expr: e, Op: constraint.Le}}, nil
+	case cqa.OpLt:
+		return []constraint.Constraint{{Expr: e, Op: constraint.Lt}}, nil
+	case cqa.OpGe:
+		return []constraint.Constraint{{Expr: e.Neg(), Op: constraint.Le}}, nil
+	case cqa.OpGt:
+		return []constraint.Constraint{{Expr: e.Neg(), Op: constraint.Lt}}, nil
+	default: // OpNe
+		return []constraint.Constraint{
+			{Expr: e, Op: constraint.Lt},
+			{Expr: e.Neg(), Op: constraint.Lt},
+		}, nil
+	}
+}
+
+// atomHolds decides one atom for one tuple.
+func atomHolds(t relation.Tuple, s schema.Schema, a cqa.Atom, mode Mode) (bool, error) {
+	switch at := a.(type) {
+	case cqa.StringAtom:
+		// Relational string values are definite: both modes coincide,
+		// except NULL, which is never certain and (conservatively) never
+		// claimed possible either — NULL means unknown *identity*, not an
+		// unconstrained value.
+		lv, bound := t.RVal(at.Attr)
+		if !bound {
+			return false, nil
+		}
+		var rv relation.Value
+		if at.IsLit {
+			rv = relation.Str(at.Lit)
+		} else {
+			o, ok := t.RVal(at.OtherAttr)
+			if !ok {
+				return false, nil
+			}
+			rv = o
+		}
+		eq := lv.Equal(rv)
+		return (at.Op == cqa.OpEq) == eq, nil
+
+	case cqa.LinearAtom:
+		cs, err := linearToConstraints(t, s, at)
+		if err != nil {
+			return false, err
+		}
+		if cs == nil {
+			return false, nil
+		}
+		con := t.Constraint()
+		if mode == Possibly {
+			// Some completion satisfies some branch.
+			for _, c := range cs {
+				if con.With(c).IsSatisfiable() {
+					return true, nil
+				}
+			}
+			return false, nil
+		}
+		// Certainly: every completion satisfies the atom ⇔ the atom's
+		// complement intersected with the knowledge is empty. For Ne the
+		// complement is equality; for the others it is the usual single
+		// complement.
+		var complements []constraint.Constraint
+		if at.Op == cqa.OpNe {
+			complements = []constraint.Constraint{{Expr: firstExprOf(cs), Op: constraint.Eq}}
+		} else {
+			complements = cs[0].Complement()
+		}
+		for _, neg := range complements {
+			if con.With(neg).IsSatisfiable() {
+				return false, nil
+			}
+		}
+		return true, nil
+	default:
+		return false, fmt.Errorf("indefinite: unsupported atom %T", a)
+	}
+}
+
+// firstExprOf recovers the grounded expression from the Ne branch pair
+// (branch 0 is expr < 0).
+func firstExprOf(cs []constraint.Constraint) constraint.Expr {
+	return cs[0].Expr
+}
+
+// String renders the relation with a disjunctive-semantics marker.
+func (r *Relation) String() string {
+	return "indefinite " + r.inner.String()
+}

@@ -1,0 +1,260 @@
+package indefinite
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"cdb/internal/constraint"
+	"cdb/internal/cqa"
+	"cdb/internal/rational"
+	"cdb/internal/relation"
+	"cdb/internal/schema"
+)
+
+func q(s string) rational.Rat { return rational.MustParse(s) }
+
+// sensors builds an indefinite relation: each sensor's reading is only
+// known up to an interval.
+func sensors(t *testing.T) *Relation {
+	t.Helper()
+	s := schema.MustNew(schema.Rel("id", schema.String), schema.Con("temp"))
+	flat := relation.New(s)
+	add := func(id, lo, hi string) {
+		flat.MustAdd(relation.NewTuple(
+			map[string]relation.Value{"id": relation.Str(id)},
+			constraint.And(
+				constraint.GeConst("temp", q(lo)),
+				constraint.LeConst("temp", q(hi)))))
+	}
+	add("s1", "10", "20") // could be anything in [10,20]
+	add("s2", "25", "25") // known exactly
+	add("s3", "18", "30")
+	r, err := New(flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func idsOf(t *testing.T, r *Relation) map[string]bool {
+	t.Helper()
+	out := map[string]bool{}
+	for _, tp := range r.Inner().Tuples() {
+		v, _ := tp.RVal("id")
+		s, _ := v.AsString()
+		out[s] = true
+	}
+	return out
+}
+
+func TestPossibleVsCertain(t *testing.T) {
+	r := sensors(t)
+	cond := cqa.Condition{cqa.AttrCmpConst("temp", cqa.OpGe, q("19"))}
+
+	poss, err := r.Select(cond, Possibly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert, err := r.Select(cond, Certainly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, c := idsOf(t, poss), idsOf(t, cert)
+	// temp >= 19: s1 possibly (20 >= 19) but not certainly (10 < 19);
+	// s2 certainly (25); s3 possibly but not certainly.
+	if !p["s1"] || !p["s2"] || !p["s3"] {
+		t.Errorf("possible = %v", p)
+	}
+	if c["s1"] || !c["s2"] || c["s3"] {
+		t.Errorf("certain = %v", c)
+	}
+	// Certain ⊆ possible.
+	for id := range c {
+		if !p[id] {
+			t.Errorf("certain id %s not possible", id)
+		}
+	}
+	// Selection must not strengthen the knowledge: s1's interval stays
+	// [10,20] in the possible answer.
+	for _, tp := range poss.Inner().Tuples() {
+		v, _ := tp.RVal("id")
+		if sv, _ := v.AsString(); sv == "s1" {
+			iv, _ := tp.Constraint().VarBounds("temp")
+			if !iv.Lower.Equal(q("10")) || !iv.Upper.Equal(q("20")) {
+				t.Errorf("s1 knowledge changed: %+v", iv)
+			}
+		}
+	}
+}
+
+func TestJointPossibilityIsNotPerAtom(t *testing.T) {
+	r := sensors(t)
+	// temp <= 12 and temp >= 18 are each possible for s1, but not jointly.
+	cond := cqa.Condition{
+		cqa.AttrCmpConst("temp", cqa.OpLe, q("12")),
+		cqa.AttrCmpConst("temp", cqa.OpGe, q("18")),
+	}
+	poss, err := r.Select(cond, Possibly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(idsOf(t, poss)) != 0 {
+		t.Errorf("jointly impossible condition reported possible: %v", idsOf(t, poss))
+	}
+}
+
+func TestNeBranching(t *testing.T) {
+	r := sensors(t)
+	// temp != 25: s2 (exactly 25) is neither possibly nor certainly != 25;
+	// s1 is certainly != 25 (its interval excludes 25); s3 possibly (could
+	// be 26) but not certainly (could be 25).
+	cond := cqa.Condition{cqa.AttrCmpConst("temp", cqa.OpNe, q("25"))}
+	poss, _ := r.Select(cond, Possibly)
+	cert, _ := r.Select(cond, Certainly)
+	p, c := idsOf(t, poss), idsOf(t, cert)
+	if p["s2"] || !p["s1"] || !p["s3"] {
+		t.Errorf("possible != 25: %v", p)
+	}
+	if !c["s1"] || c["s2"] || c["s3"] {
+		t.Errorf("certain != 25: %v", c)
+	}
+}
+
+func TestStringAtomsAreDefinite(t *testing.T) {
+	r := sensors(t)
+	cond := cqa.Condition{cqa.StrEq("id", "s2")}
+	for _, mode := range []Mode{Possibly, Certainly} {
+		out, err := r.Select(cond, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := idsOf(t, out)
+		if len(got) != 1 || !got["s2"] {
+			t.Errorf("%s id=s2: %v", mode, got)
+		}
+	}
+	// NULL relational attribute: neither possible nor certain.
+	s := schema.MustNew(schema.Rel("id", schema.String), schema.Con("temp"))
+	flat := relation.New(s)
+	flat.MustAdd(relation.ConstraintTuple(constraint.And(constraint.EqConst("temp", q("5")))))
+	rr, err := New(flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []Mode{Possibly, Certainly} {
+		out, _ := rr.Select(cond, mode)
+		if out.Len() != 0 {
+			t.Errorf("%s over NULL id matched", mode)
+		}
+	}
+}
+
+func TestInconsistentTupleRejected(t *testing.T) {
+	s := schema.MustNew(schema.Con("temp"))
+	flat := relation.New(s)
+	flat.MustAdd(relation.ConstraintTuple(constraint.And(
+		constraint.GeConst("temp", q("5")), constraint.LeConst("temp", q("1")))))
+	if _, err := New(flat); err == nil {
+		t.Error("inconsistent tuple accepted")
+	}
+}
+
+// TestQuickCertainImpliesPossible: on random indefinite relations and
+// random conditions, every certain answer is a possible answer, and both
+// coincide for point (fully definite) tuples.
+func TestQuickCertainImpliesPossible(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	s := schema.MustNew(schema.Rel("id", schema.String), schema.Con("v"))
+	for iter := 0; iter < 120; iter++ {
+		flat := relation.New(s)
+		definite := map[string]bool{}
+		n := 1 + rng.Intn(4)
+		for i := 0; i < n; i++ {
+			id := string(rune('a' + i))
+			lo := int64(rng.Intn(10))
+			span := int64(rng.Intn(4))
+			if span == 0 {
+				definite[id] = true
+			}
+			flat.MustAdd(relation.NewTuple(
+				map[string]relation.Value{"id": relation.Str(id)},
+				constraint.And(
+					constraint.GeConst("v", rational.FromInt(lo)),
+					constraint.LeConst("v", rational.FromInt(lo+span)))))
+		}
+		r, err := New(flat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		op := []cqa.CompOp{cqa.OpLe, cqa.OpLt, cqa.OpGe, cqa.OpGt, cqa.OpEq, cqa.OpNe}[rng.Intn(6)]
+		cond := cqa.Condition{cqa.AttrCmpConst("v", op, rational.FromInt(int64(rng.Intn(12))))}
+		poss, err := r.Select(cond, Possibly)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cert, err := r.Select(cond, Certainly)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, c := idsOf(t, poss), idsOf(t, cert)
+		for id := range c {
+			if !p[id] {
+				t.Fatalf("iter %d: certain id %s not possible (cond %s)", iter, id, cond)
+			}
+		}
+		for id := range definite {
+			if p[id] != c[id] {
+				t.Fatalf("iter %d: definite tuple %s: possible=%v certain=%v (cond %s)",
+					iter, id, p[id], c[id], cond)
+			}
+		}
+	}
+}
+
+func TestAccessorsAndModes(t *testing.T) {
+	r := sensors(t)
+	if r.Schema().Len() != 2 || r.Len() != 3 {
+		t.Errorf("schema/len accessors wrong")
+	}
+	if !strings.HasPrefix(r.String(), "indefinite ") {
+		t.Errorf("String = %q", r.String())
+	}
+	if Possibly.String() != "possibly" || Certainly.String() != "certainly" {
+		t.Error("mode strings")
+	}
+	// Relational rational attributes are definite: ground them in linear
+	// atoms through both modes.
+	s := schema.MustNew(schema.Rel("age", schema.Rational), schema.Con("v"))
+	flat := relation.New(s)
+	flat.MustAdd(relation.NewTuple(
+		map[string]relation.Value{"age": relation.Rat(q("40"))},
+		constraint.And(constraint.GeConst("v", q("0")), constraint.LeConst("v", q("10")))))
+	flat.MustAdd(relation.ConstraintTuple(constraint.And(constraint.EqConst("v", q("5"))))) // age NULL
+	ind, err := New(flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cond := cqa.Condition{cqa.AttrCmpConst("age", cqa.OpEq, q("40"))}
+	for _, mode := range []Mode{Possibly, Certainly} {
+		out, err := ind.Select(cond, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Len() != 1 {
+			t.Errorf("%s age=40 matched %d (NULL age must not match)", mode, out.Len())
+		}
+	}
+	// Validation errors propagate.
+	if _, err := ind.Select(cqa.Condition{cqa.AttrCmpConst("ghost", cqa.OpEq, q("1"))}, Possibly); err == nil {
+		t.Error("unknown attribute accepted")
+	}
+	// Strict and Gt/Lt operators through both modes.
+	for _, op := range []cqa.CompOp{cqa.OpLt, cqa.OpGt, cqa.OpLe, cqa.OpGe} {
+		for _, mode := range []Mode{Possibly, Certainly} {
+			if _, err := ind.Select(cqa.Condition{cqa.AttrCmpConst("v", op, q("5"))}, mode); err != nil {
+				t.Fatalf("op %v mode %v: %v", op, mode, err)
+			}
+		}
+	}
+}

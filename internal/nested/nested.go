@@ -1,0 +1,208 @@
+// Package nested implements the Dedale-style nested representation the
+// paper's §6 discusses as the alternative fix for the first redundancy of
+// flat constraint relations:
+//
+//	"Should the relation include attributes other than the spatial
+//	 extent, these attributes are duplicated for each of the constraint
+//	 tuples representing the same feature. ... Dedale chose to depart
+//	 from the relational model and use the nested model instead: the
+//	 constraint part of all tuples representing the same feature are
+//	 grouped into a set, and stored as one nested attribute value; the
+//	 non-spatial attributes for each feature are only stored once,
+//	 together with this nested value. The nest and unnest operators in
+//	 Dedale are necessary to work with this data model."
+//
+// A NestedRelation stores, per feature, the relational bindings once plus
+// the set of constraint tuples forming the feature's extent. Nest and
+// Unnest convert losslessly to and from the flat heterogeneous relation;
+// StorageCells quantifies the redundancy the nesting removes.
+package nested
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cdb/internal/constraint"
+	"cdb/internal/relation"
+	"cdb/internal/schema"
+)
+
+// Tuple is one nested tuple: relational bindings stored once, plus the
+// nested set of constraint tuples (the feature's extent pieces).
+type Tuple struct {
+	rvals  map[string]relation.Value
+	extent []constraint.Conjunction
+}
+
+// RVals returns a copy of the relational bindings.
+func (t Tuple) RVals() map[string]relation.Value {
+	out := make(map[string]relation.Value, len(t.rvals))
+	for k, v := range t.rvals {
+		out[k] = v
+	}
+	return out
+}
+
+// Extent returns the nested constraint tuples. The result must not be
+// mutated.
+func (t Tuple) Extent() []constraint.Conjunction { return t.extent }
+
+// String renders "(id="A" | {piece; piece})".
+func (t Tuple) String() string {
+	keys := make([]string, 0, len(t.rvals))
+	for k := range t.rvals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys))
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%s", k, t.rvals[k]))
+	}
+	pieces := make([]string, len(t.extent))
+	for i, e := range t.extent {
+		pieces[i] = e.String()
+	}
+	return "(" + strings.Join(parts, ", ") + " | {" + strings.Join(pieces, "; ") + "})"
+}
+
+// Relation is a nested constraint relation over a flat heterogeneous
+// schema (the nesting groups the constraint part; the schema is shared
+// with the flat form).
+type Relation struct {
+	schema schema.Schema
+	tuples []Tuple
+}
+
+// Schema returns the flat schema the nesting is over.
+func (n *Relation) Schema() schema.Schema { return n.schema }
+
+// Len returns the number of nested tuples (features).
+func (n *Relation) Len() int { return len(n.tuples) }
+
+// Tuples returns the nested tuples. The result must not be mutated.
+func (n *Relation) Tuples() []Tuple { return n.tuples }
+
+// Nest groups a flat heterogeneous relation by its relational part: each
+// group becomes one nested tuple whose extent is the set of the group's
+// constraint parts. Groups appear in first-occurrence order.
+func Nest(r *relation.Relation) *Relation {
+	n := &Relation{schema: r.Schema()}
+	index := map[string]int{}
+	for _, t := range r.Tuples() {
+		key := rvalsKey(t.RVals())
+		if i, ok := index[key]; ok {
+			n.tuples[i].extent = append(n.tuples[i].extent, t.Constraint())
+			continue
+		}
+		index[key] = len(n.tuples)
+		n.tuples = append(n.tuples, Tuple{
+			rvals:  t.RVals(),
+			extent: []constraint.Conjunction{t.Constraint()},
+		})
+	}
+	return n
+}
+
+func rvalsKey(rvals map[string]relation.Value) string {
+	keys := make([]string, 0, len(rvals))
+	for k := range rvals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(rvals[k].Key())
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// Unnest flattens back to the heterogeneous relation: one flat tuple per
+// extent piece, the relational bindings duplicated onto each (this is
+// exactly the §6 type-1 redundancy being re-introduced).
+func (n *Relation) Unnest() (*relation.Relation, error) {
+	out := relation.New(n.schema)
+	for _, t := range n.tuples {
+		for _, con := range t.extent {
+			if err := out.Add(relation.NewTuple(t.rvals, con)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// StorageCells counts stored values as a representation-size measure:
+// one cell per relational binding plus one per atomic constraint. The
+// difference between Flat and Nested on the same data is the §6 type-1
+// redundancy.
+type StorageCells struct {
+	RelationalCells int
+	ConstraintCells int
+}
+
+// Total returns the combined cell count.
+func (s StorageCells) Total() int { return s.RelationalCells + s.ConstraintCells }
+
+// NestedCells measures the nested form.
+func (n *Relation) NestedCells() StorageCells {
+	var s StorageCells
+	for _, t := range n.tuples {
+		s.RelationalCells += len(t.rvals)
+		for _, e := range t.extent {
+			s.ConstraintCells += e.Len()
+		}
+	}
+	return s
+}
+
+// FlatCells measures a flat relation with the same counting rules.
+func FlatCells(r *relation.Relation) StorageCells {
+	var s StorageCells
+	for _, t := range r.Tuples() {
+		s.RelationalCells += len(t.RVals())
+		s.ConstraintCells += t.Constraint().Len()
+	}
+	return s
+}
+
+// Select filters the nested relation by a per-piece constraint: each
+// extent piece is conjoined with the extra constraints and kept when
+// satisfiable; features whose whole extent empties are dropped. This is
+// the nested-model analogue of CQA select over constraint attributes
+// (conditions over relational attributes belong on the flat view).
+func (n *Relation) Select(cs ...constraint.Constraint) *Relation {
+	out := &Relation{schema: n.schema}
+	for _, t := range n.tuples {
+		var kept []constraint.Conjunction
+		for _, e := range t.extent {
+			ne := e.With(cs...)
+			if ne.IsSatisfiable() {
+				kept = append(kept, ne)
+			}
+		}
+		if len(kept) > 0 {
+			out.tuples = append(out.tuples, Tuple{rvals: t.rvals, extent: kept})
+		}
+	}
+	return out
+}
+
+// String renders the nested relation.
+func (n *Relation) String() string {
+	var b strings.Builder
+	b.WriteString(n.schema.String())
+	b.WriteString(" nested {")
+	for _, t := range n.tuples {
+		b.WriteString("\n  ")
+		b.WriteString(t.String())
+	}
+	if len(n.tuples) > 0 {
+		b.WriteString("\n")
+	}
+	b.WriteString("}")
+	return b.String()
+}

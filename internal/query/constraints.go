@@ -1,0 +1,50 @@
+package query
+
+import (
+	"fmt"
+
+	"cdb/internal/constraint"
+)
+
+// ParseConstraints parses a comma-separated conjunction of linear
+// comparisons ("x >= 0, x + 2y <= 3, t = 1/2") into atomic constraints.
+// Every identifier is taken as a variable; string atoms and != (which is
+// not convex and therefore not storable in a single constraint tuple) are
+// rejected. This is the stored-tuple syntax used by the db text format.
+func ParseConstraints(src string) ([]constraint.Constraint, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var out []constraint.Constraint
+	if p.peek().kind == tokEOF {
+		return nil, nil // empty conjunction = true
+	}
+	for {
+		a, err := p.parseAtom()
+		if err != nil {
+			return nil, err
+		}
+		if a.l.isStr || a.r.isStr {
+			return nil, fmt.Errorf("query: string literal in stored constraint %q", a)
+		}
+		if a.op == "!=" {
+			return nil, fmt.Errorf("query: != is not convex and cannot appear in a stored constraint tuple")
+		}
+		c, err := constraint.New(a.l.linear, a.op, a.r.linear)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, c)
+		if p.peek().kind == tokComma {
+			p.next()
+			continue
+		}
+		break
+	}
+	if p.peek().kind != tokEOF {
+		return nil, p.errf("trailing input %q in constraint list", p.peek().text)
+	}
+	return out, nil
+}

@@ -1,0 +1,219 @@
+// Package query implements the ASCII query language of CQA/CDB.
+//
+// The paper (§3.3) writes queries as multi-step programs over named
+// relations, using English operator names "for portability of the system":
+//
+//	R0 = select LandID="A" from Landownership
+//	R1 = project R0 on name, t
+//	R2 = join Hurricane and Land
+//	R3 = select t>=4, t<=9 from R2
+//
+// This package adds the remaining CQA operators in the same style —
+// union / minus / rename — and the paper's §4 whole-feature operators:
+//
+//	R4 = union R1 and R3
+//	R5 = minus R1 and R3
+//	R6 = rename t to t2 in R5
+//	B  = buffer-join Roads and Towns within 5
+//	K  = k-nearest 3 in Hospitals to point(3, 4)
+//
+// Selection conditions are comma-separated conjunctions of linear
+// comparisons over rational attributes ("t>=4", "x+2y<=3", coefficients
+// may be fractions "1/2x <= 3") or string comparisons ("landId = A"; bare
+// words compare as string literals when the attribute is string-typed,
+// quoted strings always do). The program's value is the relation assigned
+// by its final statement.
+package query
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokOp     // = != < <= > >= + - * /
+	tokComma  // ,
+	tokLParen // (
+	tokRParen // )
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int // byte offset, for error messages
+	line int
+}
+
+// compound keywords that contain '-': the lexer merges IDENT '-' IDENT
+// sequences into these when they match.
+var compoundKeywords = map[string]bool{
+	"buffer-join": true,
+	"k-nearest":   true,
+}
+
+type lexer struct {
+	src    string
+	pos    int
+	line   int
+	tokens []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src, line: 1}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '#':
+			l.skipLine()
+		case c == '-' && l.peekAt(1) == '-':
+			l.skipLine()
+		case isIdentStart(rune(c)):
+			l.lexIdent()
+		case c >= '0' && c <= '9' || (c == '.' && l.peekAt(1) >= '0' && l.peekAt(1) <= '9'):
+			l.lexNumber()
+		case c == '"':
+			if err := l.lexString(); err != nil {
+				return nil, err
+			}
+		case c == ',':
+			l.emit(tokComma, ",")
+			l.pos++
+		case c == '(':
+			l.emit(tokLParen, "(")
+			l.pos++
+		case c == ')':
+			l.emit(tokRParen, ")")
+			l.pos++
+		case c == '<' || c == '>' || c == '!':
+			op := string(c)
+			l.pos++
+			if l.pos < len(l.src) && l.src[l.pos] == '=' {
+				op += "="
+				l.pos++
+			} else if c == '!' {
+				return nil, fmt.Errorf("query: line %d: '!' must be followed by '='", l.line)
+			}
+			l.emit(tokOp, op)
+		case c == '=' || c == '+' || c == '-' || c == '*' || c == '/':
+			l.emit(tokOp, string(c))
+			l.pos++
+		default:
+			return nil, fmt.Errorf("query: line %d: unexpected character %q", l.line, c)
+		}
+	}
+	l.emit(tokEOF, "")
+	return l.mergeCompounds(), nil
+}
+
+func (l *lexer) peekAt(d int) byte {
+	if l.pos+d < len(l.src) {
+		return l.src[l.pos+d]
+	}
+	return 0
+}
+
+func (l *lexer) skipLine() {
+	for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+		l.pos++
+	}
+}
+
+func (l *lexer) emit(kind tokenKind, text string) {
+	l.tokens = append(l.tokens, token{kind: kind, text: text, pos: l.pos, line: l.line})
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	l.emit(tokIdent, l.src[start:l.pos])
+}
+
+func (l *lexer) lexNumber() {
+	start := l.pos
+	seenDot := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c >= '0' && c <= '9' {
+			l.pos++
+			continue
+		}
+		if c == '.' && !seenDot {
+			seenDot = true
+			l.pos++
+			continue
+		}
+		break
+	}
+	l.emit(tokNumber, l.src[start:l.pos])
+}
+
+func (l *lexer) lexString() error {
+	line := l.line
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch c {
+		case '"':
+			l.pos++
+			l.emit(tokString, b.String())
+			return nil
+		case '\\':
+			if l.pos+1 >= len(l.src) {
+				return fmt.Errorf("query: line %d: unterminated escape", line)
+			}
+			l.pos++
+			b.WriteByte(l.src[l.pos])
+			l.pos++
+		case '\n':
+			return fmt.Errorf("query: line %d: unterminated string", line)
+		default:
+			b.WriteByte(c)
+			l.pos++
+		}
+	}
+	return fmt.Errorf("query: line %d: unterminated string", line)
+}
+
+// mergeCompounds turns IDENT('-')IDENT triples into compound keywords
+// ("buffer-join", "k-nearest"). Elsewhere '-' stays a minus operator.
+func (l *lexer) mergeCompounds() []token {
+	var out []token
+	ts := l.tokens
+	for i := 0; i < len(ts); i++ {
+		if ts[i].kind == tokIdent && i+2 < len(ts) &&
+			ts[i+1].kind == tokOp && ts[i+1].text == "-" &&
+			ts[i+2].kind == tokIdent {
+			comp := ts[i].text + "-" + ts[i+2].text
+			if compoundKeywords[strings.ToLower(comp)] {
+				out = append(out, token{kind: tokIdent, text: comp, pos: ts[i].pos, line: ts[i].line})
+				i += 2
+				continue
+			}
+		}
+		out = append(out, ts[i])
+	}
+	return out
+}

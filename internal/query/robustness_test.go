@@ -1,0 +1,51 @@
+package query
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestParserNeverPanics mutates valid programs byte-wise and asserts the
+// parser fails gracefully (error or success, never a panic) — the
+// front-door robustness a shell-facing parser needs.
+func TestParserNeverPanics(t *testing.T) {
+	seeds := []string{
+		`R0 = select landId = A from Landownership
+R1 = project R0 on name, t`,
+		`B = buffer-join Land and Track within 1/2`,
+		`K = k-nearest 3 in Land to point(-10, 2.5)`,
+		`R = select x + 2y <= 3, x != 1 from (join A and B)`,
+		`R = rename x to lon in (union P and Q)`,
+	}
+	chars := []byte(`abcXYZ0189 ()=<>!,.+-*/"\n#`)
+	rng := rand.New(rand.NewSource(99))
+	for _, seed := range seeds {
+		for iter := 0; iter < 400; iter++ {
+			b := []byte(seed)
+			for k := 0; k < 1+rng.Intn(4); k++ {
+				switch rng.Intn(3) {
+				case 0: // substitute
+					b[rng.Intn(len(b))] = chars[rng.Intn(len(chars))]
+				case 1: // delete
+					i := rng.Intn(len(b))
+					b = append(b[:i], b[i+1:]...)
+				default: // insert
+					i := rng.Intn(len(b) + 1)
+					b = append(b[:i], append([]byte{chars[rng.Intn(len(chars))]}, b[i:]...)...)
+				}
+				if len(b) == 0 {
+					b = []byte{'x'}
+				}
+			}
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("parser panicked on %q: %v", b, r)
+					}
+				}()
+				_, _ = Parse(string(b))
+				_, _ = ParseConstraints(string(b))
+			}()
+		}
+	}
+}

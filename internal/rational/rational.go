@@ -1,0 +1,420 @@
+// Package rational implements exact rational arithmetic for the CQA/CDB
+// constraint engine.
+//
+// CQA/CDB is a rational linear constraint database: every coefficient,
+// constant, and coordinate in the constraint layer is an exact rational
+// number. Floating point is unacceptable there because constraint
+// satisfiability, entailment, and Fourier-Motzkin elimination all depend on
+// exact sign tests; a single rounding error flips a satisfiable conjunction
+// into an unsatisfiable one (or vice versa) and silently corrupts query
+// results.
+//
+// Rat is an immutable value type. The common case — small numerators and
+// denominators — is stored inline as a pair of int64s and never allocates.
+// When an operation would overflow int64, the result is transparently
+// promoted to a math/big.Rat; results that fit back into int64s are demoted
+// again, so long pipelines of operations stay on the fast path whenever the
+// values allow it.
+package rational
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+	"strings"
+)
+
+// Rat is an exact rational number. The zero value is 0.
+//
+// Invariants (maintained by all constructors and operations):
+//   - if b == nil: den > 0, gcd(|num|, den) == 1, and num == 0 implies den == 1
+//     (except the zero value, which has num == 0, den == 0 and is treated as 0)
+//   - if b != nil: b is in lowest terms and is never mutated after creation.
+type Rat struct {
+	num int64
+	den int64 // 0 means "zero value" and is read as 1
+	b   *big.Rat
+}
+
+// Common constants.
+var (
+	Zero = FromInt(0)
+	One  = FromInt(1)
+	Two  = FromInt(2)
+	Half = New(1, 2)
+)
+
+// FromInt returns the rational n/1.
+func FromInt(n int64) Rat { return Rat{num: n, den: 1} }
+
+// New returns the rational num/den in lowest terms. It panics if den == 0.
+func New(num, den int64) Rat {
+	if den == 0 {
+		panic("rational: zero denominator")
+	}
+	if den < 0 {
+		// Negating math.MinInt64 overflows; promote that single case.
+		if num == math.MinInt64 || den == math.MinInt64 {
+			return fromBig(new(big.Rat).SetFrac(big.NewInt(num), big.NewInt(den)))
+		}
+		num, den = -num, -den
+	}
+	g := gcd64(abs64(num), den)
+	if g > 1 {
+		num /= g
+		den /= g
+	}
+	if num == 0 {
+		den = 1
+	}
+	return Rat{num: num, den: den}
+}
+
+// FromBig returns a Rat equal to b. The argument is copied.
+func FromBig(b *big.Rat) Rat {
+	return fromBig(new(big.Rat).Set(b))
+}
+
+// fromBig wraps b, demoting to the inline representation when it fits.
+// Callers must not retain or mutate b afterwards.
+func fromBig(b *big.Rat) Rat {
+	if b.Num().IsInt64() && b.Denom().IsInt64() {
+		return Rat{num: b.Num().Int64(), den: b.Denom().Int64()}
+	}
+	return Rat{b: b}
+}
+
+// Parse parses a rational from a string. Accepted forms are integers
+// ("42", "-7"), fractions ("3/4", "-22/7"), and decimals ("2.5", "-0.125").
+func Parse(s string) (Rat, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return Rat{}, fmt.Errorf("rational: empty string")
+	}
+	if i := strings.IndexByte(s, '/'); i >= 0 {
+		numStr, denStr := s[:i], s[i+1:]
+		num, ok1 := new(big.Int).SetString(numStr, 10)
+		den, ok2 := new(big.Int).SetString(denStr, 10)
+		if !ok1 || !ok2 {
+			return Rat{}, fmt.Errorf("rational: cannot parse %q", s)
+		}
+		if den.Sign() == 0 {
+			return Rat{}, fmt.Errorf("rational: zero denominator in %q", s)
+		}
+		return fromBig(new(big.Rat).SetFrac(num, den)), nil
+	}
+	b, ok := new(big.Rat).SetString(s)
+	if !ok {
+		return Rat{}, fmt.Errorf("rational: cannot parse %q", s)
+	}
+	return fromBig(b), nil
+}
+
+// MustParse is like Parse but panics on error. Intended for constants and tests.
+func MustParse(s string) Rat {
+	r, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// FromFloat returns the exact rational value of f.
+// It panics if f is NaN or infinite.
+func FromFloat(f float64) Rat {
+	b := new(big.Rat).SetFloat64(f)
+	if b == nil {
+		panic("rational: non-finite float")
+	}
+	return fromBig(b)
+}
+
+// big returns the receiver as a big.Rat. The result must not be mutated
+// when it aliases the receiver's internal value.
+func (r Rat) bigVal() *big.Rat {
+	if r.b != nil {
+		return r.b
+	}
+	return new(big.Rat).SetFrac64(r.num, r.normDen())
+}
+
+func (r Rat) normDen() int64 {
+	if r.den == 0 {
+		return 1
+	}
+	return r.den
+}
+
+// IsZero reports whether r == 0.
+func (r Rat) IsZero() bool {
+	if r.b != nil {
+		return r.b.Sign() == 0
+	}
+	return r.num == 0
+}
+
+// Sign returns -1, 0, or +1 according to the sign of r.
+func (r Rat) Sign() int {
+	if r.b != nil {
+		return r.b.Sign()
+	}
+	switch {
+	case r.num > 0:
+		return 1
+	case r.num < 0:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// Num returns the numerator of r as a new big.Int.
+func (r Rat) Num() *big.Int {
+	if r.b != nil {
+		return new(big.Int).Set(r.b.Num())
+	}
+	return big.NewInt(r.num)
+}
+
+// Denom returns the denominator of r (always positive) as a new big.Int.
+func (r Rat) Denom() *big.Int {
+	if r.b != nil {
+		return new(big.Int).Set(r.b.Denom())
+	}
+	return big.NewInt(r.normDen())
+}
+
+// IsInt reports whether r is an integer.
+func (r Rat) IsInt() bool {
+	if r.b != nil {
+		return r.b.IsInt()
+	}
+	return r.normDen() == 1
+}
+
+// Int64 returns the value of r as an int64, and whether the conversion is
+// exact (r is an integer that fits in int64).
+func (r Rat) Int64() (int64, bool) {
+	if r.b != nil {
+		if !r.b.IsInt() || !r.b.Num().IsInt64() {
+			return 0, false
+		}
+		return r.b.Num().Int64(), true
+	}
+	if r.normDen() != 1 {
+		return 0, false
+	}
+	return r.num, true
+}
+
+// Float64 returns the nearest float64 value to r.
+func (r Rat) Float64() float64 {
+	if r.b != nil {
+		f, _ := r.b.Float64()
+		return f
+	}
+	return float64(r.num) / float64(r.normDen())
+}
+
+// Neg returns -r.
+func (r Rat) Neg() Rat {
+	if r.b != nil {
+		return fromBig(new(big.Rat).Neg(r.b))
+	}
+	if r.num == math.MinInt64 {
+		return fromBig(new(big.Rat).Neg(r.bigVal()))
+	}
+	return Rat{num: -r.num, den: r.den}
+}
+
+// Abs returns |r|.
+func (r Rat) Abs() Rat {
+	if r.Sign() >= 0 {
+		return r
+	}
+	return r.Neg()
+}
+
+// Inv returns 1/r. It panics if r == 0.
+func (r Rat) Inv() Rat {
+	if r.IsZero() {
+		panic("rational: division by zero")
+	}
+	if r.b != nil {
+		return fromBig(new(big.Rat).Inv(r.b))
+	}
+	if r.num == math.MinInt64 {
+		return fromBig(new(big.Rat).Inv(r.bigVal()))
+	}
+	if r.num < 0 {
+		return Rat{num: -r.normDen(), den: -r.num}
+	}
+	return Rat{num: r.normDen(), den: r.num}
+}
+
+// Add returns r + s.
+func (r Rat) Add(s Rat) Rat {
+	if r.b == nil && s.b == nil {
+		rd, sd := r.normDen(), s.normDen()
+		// r.num/rd + s.num/sd = (r.num*sd + s.num*rd) / (rd*sd)
+		a, ok1 := mul64(r.num, sd)
+		b, ok2 := mul64(s.num, rd)
+		if ok1 && ok2 {
+			n, ok3 := add64(a, b)
+			d, ok4 := mul64(rd, sd)
+			if ok3 && ok4 {
+				return New(n, d)
+			}
+		}
+	}
+	return fromBig(new(big.Rat).Add(r.bigVal(), s.bigVal()))
+}
+
+// Sub returns r - s.
+func (r Rat) Sub(s Rat) Rat { return r.Add(s.Neg()) }
+
+// Mul returns r * s.
+func (r Rat) Mul(s Rat) Rat {
+	if r.b == nil && s.b == nil {
+		// Cross-reduce first to keep intermediates small.
+		rn, sd := crossReduce(r.num, s.normDen())
+		sn, rd := crossReduce(s.num, r.normDen())
+		n, ok1 := mul64(rn, sn)
+		d, ok2 := mul64(rd, sd)
+		if ok1 && ok2 {
+			return New(n, d)
+		}
+	}
+	return fromBig(new(big.Rat).Mul(r.bigVal(), s.bigVal()))
+}
+
+// Div returns r / s. It panics if s == 0.
+func (r Rat) Div(s Rat) Rat { return r.Mul(s.Inv()) }
+
+// Cmp compares r and s and returns -1, 0, or +1.
+func (r Rat) Cmp(s Rat) int {
+	if r.b == nil && s.b == nil {
+		// r.num/rd ? s.num/sd  <=>  r.num*sd ? s.num*rd  (denominators positive)
+		a, ok1 := mul64(r.num, s.normDen())
+		b, ok2 := mul64(s.num, r.normDen())
+		if ok1 && ok2 {
+			switch {
+			case a < b:
+				return -1
+			case a > b:
+				return 1
+			default:
+				return 0
+			}
+		}
+	}
+	return r.bigVal().Cmp(s.bigVal())
+}
+
+// Equal reports whether r == s.
+func (r Rat) Equal(s Rat) bool { return r.Cmp(s) == 0 }
+
+// Less reports whether r < s.
+func (r Rat) Less(s Rat) bool { return r.Cmp(s) < 0 }
+
+// LessEq reports whether r <= s.
+func (r Rat) LessEq(s Rat) bool { return r.Cmp(s) <= 0 }
+
+// Min returns the smaller of r and s.
+func Min(r, s Rat) Rat {
+	if r.Cmp(s) <= 0 {
+		return r
+	}
+	return s
+}
+
+// Max returns the larger of r and s.
+func Max(r, s Rat) Rat {
+	if r.Cmp(s) >= 0 {
+		return r
+	}
+	return s
+}
+
+// String renders r as an integer ("5") or fraction ("5/3").
+func (r Rat) String() string {
+	if r.b != nil {
+		if r.b.IsInt() {
+			return r.b.Num().String()
+		}
+		return r.b.String()
+	}
+	if r.normDen() == 1 {
+		return fmt.Sprintf("%d", r.num)
+	}
+	return fmt.Sprintf("%d/%d", r.num, r.den)
+}
+
+// Key returns a canonical comparable key for r, suitable for use as a map
+// key. Two Rats have the same Key iff they are numerically equal.
+func (r Rat) Key() string { return r.String() }
+
+// --- low-level helpers ---
+
+func abs64(x int64) int64 {
+	if x < 0 {
+		if x == math.MinInt64 {
+			// Caller contracts avoid this; gcd handles it via uint64 below.
+			return x
+		}
+		return -x
+	}
+	return x
+}
+
+// gcd64 returns gcd(a, b) for a >= 0 (or MinInt64), b > 0.
+func gcd64(a, b int64) int64 {
+	ua := uint64(a)
+	if a < 0 { // only MinInt64 reaches here
+		ua = uint64(math.MaxInt64) + 1
+	}
+	ub := uint64(b)
+	for ub != 0 {
+		ua, ub = ub, ua%ub
+	}
+	if ua > uint64(math.MaxInt64) {
+		return math.MaxInt64 // forces big-path via overflow checks downstream
+	}
+	return int64(ua)
+}
+
+// crossReduce divides a and b by gcd(|a|, |b|).
+func crossReduce(a, b int64) (int64, int64) {
+	if a == 0 || b == 0 {
+		return a, b
+	}
+	g := gcd64(abs64(a), abs64(b))
+	if g > 1 {
+		return a / g, b / g
+	}
+	return a, b
+}
+
+// add64 returns a+b and whether it did not overflow.
+func add64(a, b int64) (int64, bool) {
+	s := a + b
+	if (a > 0 && b > 0 && s < 0) || (a < 0 && b < 0 && s >= 0) {
+		return 0, false
+	}
+	return s, true
+}
+
+// mul64 returns a*b and whether it did not overflow.
+func mul64(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	p := a * b
+	if p/b != a {
+		return 0, false
+	}
+	if (a == math.MinInt64 && b == -1) || (b == math.MinInt64 && a == -1) {
+		return 0, false
+	}
+	return p, true
+}

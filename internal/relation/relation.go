@@ -1,0 +1,347 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cdb/internal/constraint"
+	"cdb/internal/rational"
+	"cdb/internal/schema"
+)
+
+// Tuple is one heterogeneous constraint tuple: concrete bindings for (some
+// of) the relational attributes plus a conjunction of linear constraints
+// over the constraint attributes.
+//
+// Tuples are immutable; the With* methods return modified copies.
+type Tuple struct {
+	rvals map[string]Value
+	con   constraint.Conjunction
+}
+
+// NewTuple builds a tuple from relational bindings and a constraint part.
+// NULL bindings may be expressed either by omitting the attribute or by an
+// explicit Null() value; both normalise to "absent".
+func NewTuple(rvals map[string]Value, con constraint.Conjunction) Tuple {
+	m := make(map[string]Value, len(rvals))
+	for k, v := range rvals {
+		if !v.IsNull() {
+			m[k] = v
+		}
+	}
+	return Tuple{rvals: m, con: con}
+}
+
+// ConstraintTuple builds a tuple with only a constraint part.
+func ConstraintTuple(con constraint.Conjunction) Tuple {
+	return Tuple{rvals: map[string]Value{}, con: con}
+}
+
+// RVal returns the binding of relational attribute name; NULL (and
+// ok=false) when absent.
+func (t Tuple) RVal(name string) (Value, bool) {
+	v, ok := t.rvals[name]
+	if !ok {
+		return Null(), false
+	}
+	return v, true
+}
+
+// RVals returns a copy of the relational bindings.
+func (t Tuple) RVals() map[string]Value {
+	out := make(map[string]Value, len(t.rvals))
+	for k, v := range t.rvals {
+		out[k] = v
+	}
+	return out
+}
+
+// Constraint returns the constraint part of the tuple.
+func (t Tuple) Constraint() constraint.Conjunction { return t.con }
+
+// WithRVal returns t with relational attribute name bound to v.
+func (t Tuple) WithRVal(name string, v Value) Tuple {
+	out := t.RVals()
+	if v.IsNull() {
+		delete(out, name)
+	} else {
+		out[name] = v
+	}
+	return Tuple{rvals: out, con: t.con}
+}
+
+// WithConstraint returns t with the constraint part replaced.
+func (t Tuple) WithConstraint(con constraint.Conjunction) Tuple {
+	return Tuple{rvals: t.rvals, con: con}
+}
+
+// AndConstraints returns t with extra constraints conjoined.
+func (t Tuple) AndConstraints(cs ...constraint.Constraint) Tuple {
+	return Tuple{rvals: t.rvals, con: t.con.With(cs...)}
+}
+
+// IsSatisfiable reports whether the constraint part admits a solution.
+func (t Tuple) IsSatisfiable() bool { return t.con.IsSatisfiable() }
+
+// relationalKey is a canonical key of the relational part (used for
+// difference matching and deduplication).
+func (t Tuple) relationalKey() string {
+	keys := make([]string, 0, len(t.rvals))
+	for k := range t.rvals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(t.rvals[k].Key())
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// Key returns a canonical syntactic key for the whole tuple. Equal keys
+// imply equivalent tuples (the converse does not hold).
+func (t Tuple) Key() string {
+	return t.relationalKey() + "|" + t.con.Key()
+}
+
+// SameRelationalPart reports whether t and o have identical relational
+// parts (same bound attributes with identical values; NULL matches NULL).
+func (t Tuple) SameRelationalPart(o Tuple) bool {
+	if len(t.rvals) != len(o.rvals) {
+		return false
+	}
+	for k, v := range t.rvals {
+		ov, ok := o.rvals[k]
+		if !ok || !v.Identical(ov) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the tuple as "(name="A", t >= 2, t <= 5)".
+func (t Tuple) String() string {
+	keys := make([]string, 0, len(t.rvals))
+	for k := range t.rvals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys)+1)
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%s", k, t.rvals[k]))
+	}
+	if !t.con.IsTrue() {
+		parts = append(parts, t.con.String())
+	}
+	if len(parts) == 0 {
+		return "(true)"
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Relation is a finite set of heterogeneous constraint tuples over a fixed
+// schema.
+type Relation struct {
+	schema schema.Schema
+	tuples []Tuple
+}
+
+// New returns an empty relation with the given schema.
+func New(s schema.Schema) *Relation {
+	return &Relation{schema: s}
+}
+
+// Schema returns the relation's schema.
+func (r *Relation) Schema() schema.Schema { return r.schema }
+
+// Len returns the number of constraint tuples (the size of the finite
+// representation, not of the semantics).
+func (r *Relation) Len() int { return len(r.tuples) }
+
+// Tuples returns the tuples. The result must not be mutated.
+func (r *Relation) Tuples() []Tuple { return r.tuples }
+
+// Add validates t against the schema and appends it:
+//
+//   - every relational binding must name a relational attribute of the
+//     schema and match its type;
+//   - every variable of the constraint part must name a constraint
+//     attribute of the schema.
+func (r *Relation) Add(t Tuple) error {
+	for name, v := range t.rvals {
+		a, ok := r.schema.Attr(name)
+		if !ok {
+			return fmt.Errorf("relation: binding for unknown attribute %q", name)
+		}
+		if a.Kind != schema.Relational {
+			return fmt.Errorf("relation: value binding for constraint attribute %q (use constraints)", name)
+		}
+		switch a.Type {
+		case schema.String:
+			if v.Kind() != KindString {
+				return fmt.Errorf("relation: attribute %q expects string, got %s", name, v)
+			}
+		case schema.Rational:
+			if v.Kind() != KindRational {
+				return fmt.Errorf("relation: attribute %q expects rational, got %s", name, v)
+			}
+		}
+	}
+	for _, v := range t.con.Vars() {
+		a, ok := r.schema.Attr(v)
+		if !ok {
+			return fmt.Errorf("relation: constraint over unknown attribute %q", v)
+		}
+		if a.Kind != schema.Constraint {
+			return fmt.Errorf("relation: constraint over relational attribute %q", v)
+		}
+	}
+	r.tuples = append(r.tuples, t)
+	return nil
+}
+
+// MustAdd is like Add but panics on error. Intended for fixtures and tests.
+func (r *Relation) MustAdd(t Tuple) {
+	if err := r.Add(t); err != nil {
+		panic(err)
+	}
+}
+
+// Clone returns a deep-enough copy (tuples are immutable, so sharing them
+// is safe).
+func (r *Relation) Clone() *Relation {
+	return &Relation{schema: r.schema, tuples: append([]Tuple{}, r.tuples...)}
+}
+
+// Normalize removes unsatisfiable tuples, simplifies constraint parts, and
+// deduplicates syntactically identical tuples. The semantics is unchanged.
+func (r *Relation) Normalize() *Relation {
+	out := New(r.schema)
+	seen := map[string]bool{}
+	for _, t := range r.tuples {
+		if !t.IsSatisfiable() {
+			continue
+		}
+		nt := t.WithConstraint(t.con.Simplify())
+		k := nt.Key()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out.tuples = append(out.tuples, nt)
+	}
+	return out
+}
+
+// Point is a full assignment of schema attributes, used to probe relation
+// semantics. Relational attributes may be assigned NULL — per the paper, a
+// missing relational attribute is "assumed to have a null value, distinct
+// from all values in the domain", so NULL is part of the point space of
+// relational attributes. Constraint attributes must be rational and
+// non-NULL.
+type Point map[string]Value
+
+// Contains reports whether the point is in the semantics of the relation:
+// some tuple admits it.
+//
+// A tuple admits the point iff every relational attribute's binding (NULL
+// when unbound; narrow semantics) is identical to the point's value, and
+// the point's rational coordinates satisfy the constraint part (broad
+// semantics: unconstrained attributes impose nothing).
+func (r *Relation) Contains(p Point) (bool, error) {
+	for _, a := range r.schema.Attrs() {
+		v, present := p[a.Name]
+		if !present || (a.Kind == schema.Constraint && v.Kind() != KindRational) {
+			return false, fmt.Errorf("relation: point missing or non-rational for attribute %q", a.Name)
+		}
+	}
+	for _, t := range r.tuples {
+		ok, err := tupleAdmits(t, r.schema, p)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+func tupleAdmits(t Tuple, s schema.Schema, p Point) (bool, error) {
+	assign := map[string]rational.Rat{}
+	for _, a := range s.Attrs() {
+		pv := p[a.Name]
+		switch a.Kind {
+		case schema.Relational:
+			tv, _ := t.RVal(a.Name) // NULL when unbound
+			if !tv.Identical(pv) {
+				return false, nil
+			}
+		case schema.Constraint:
+			rv, _ := pv.AsRat()
+			assign[a.Name] = rv
+		}
+	}
+	return t.con.Holds(assign)
+}
+
+// Equivalent reports whether r and o have equal schemas and the same
+// semantics. Decided per relational-part group: within each group the
+// constraint parts are compared as disjunctions via mutual containment
+// (each tuple's region must be covered by the other side's union).
+func (r *Relation) Equivalent(o *Relation) bool {
+	if !r.schema.Equal(o.schema) {
+		return false
+	}
+	return covers(r, o) && covers(o, r)
+}
+
+// covers reports whether every point of a is a point of b.
+func covers(a, b *Relation) bool {
+	groupsB := map[string][]constraint.Conjunction{}
+	for _, t := range b.tuples {
+		if !t.IsSatisfiable() {
+			continue
+		}
+		groupsB[t.relationalKey()] = append(groupsB[t.relationalKey()], t.con)
+	}
+	for _, t := range a.tuples {
+		if !t.IsSatisfiable() {
+			continue
+		}
+		cover := groupsB[t.relationalKey()]
+		// t.con minus the union of covers must be empty.
+		if constraint.SubtractAll(t.con, cover).IsSatisfiable() {
+			return false
+		}
+	}
+	return true
+}
+
+// Sorted returns the tuples sorted by canonical key (deterministic output
+// for printing and tests).
+func (r *Relation) Sorted() []Tuple {
+	out := append([]Tuple{}, r.tuples...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	return out
+}
+
+// String renders the relation with its schema and tuples, one per line.
+func (r *Relation) String() string {
+	var b strings.Builder
+	b.WriteString(r.schema.String())
+	b.WriteString(" {")
+	for _, t := range r.Sorted() {
+		b.WriteString("\n  ")
+		b.WriteString(t.String())
+	}
+	if r.Len() > 0 {
+		b.WriteString("\n")
+	}
+	b.WriteString("}")
+	return b.String()
+}

@@ -1,0 +1,115 @@
+package rstar
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"cdb/internal/storage"
+)
+
+// entry is one slot of a node: a rectangle plus either a child page
+// (internal nodes) or an opaque data id (leaves).
+type entry struct {
+	rect  Rect
+	child storage.PageID // internal nodes
+	data  int64          // leaves
+}
+
+// node is the in-memory image of one page.
+type node struct {
+	id      storage.PageID
+	leaf    bool
+	entries []entry
+}
+
+// mbr returns the bounding rectangle of all entries.
+func (n *node) mbr() Rect {
+	r := n.entries[0].rect
+	for _, e := range n.entries[1:] {
+		r = r.Union(e.rect)
+	}
+	return r
+}
+
+// Node page layout:
+//
+//	[0]    leaf flag
+//	[1:3]  entry count (uint16)
+//	then count entries of (2*dim float64 coords, 8-byte payload)
+const nodeHeaderSize = 3
+
+// entrySize returns the on-page size of one entry for dimension dim.
+func entrySize(dim int) int { return 16*dim + 8 }
+
+// maxEntries returns the node capacity for a page size and dimension.
+func maxEntries(pageSize, dim int) int {
+	return (pageSize - nodeHeaderSize) / entrySize(dim)
+}
+
+// encodeNode serialises n into a page buffer of the given size.
+func encodeNode(n *node, pageSize, dim int) ([]byte, error) {
+	need := nodeHeaderSize + len(n.entries)*entrySize(dim)
+	if need > pageSize {
+		return nil, fmt.Errorf("rstar: node with %d entries exceeds page size", len(n.entries))
+	}
+	buf := make([]byte, pageSize)
+	if n.leaf {
+		buf[0] = 1
+	}
+	binary.LittleEndian.PutUint16(buf[1:3], uint16(len(n.entries)))
+	off := nodeHeaderSize
+	for _, e := range n.entries {
+		for i := 0; i < dim; i++ {
+			binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(e.rect.Min[i]))
+			off += 8
+		}
+		for i := 0; i < dim; i++ {
+			binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(e.rect.Max[i]))
+			off += 8
+		}
+		if n.leaf {
+			binary.LittleEndian.PutUint64(buf[off:], uint64(e.data))
+		} else {
+			binary.LittleEndian.PutUint64(buf[off:], uint64(e.child))
+		}
+		off += 8
+	}
+	return buf, nil
+}
+
+// decodeNode deserialises a page buffer.
+func decodeNode(id storage.PageID, buf []byte, dim int) (*node, error) {
+	if len(buf) < nodeHeaderSize {
+		return nil, fmt.Errorf("rstar: short page")
+	}
+	n := &node{id: id, leaf: buf[0] == 1}
+	count := int(binary.LittleEndian.Uint16(buf[1:3]))
+	if nodeHeaderSize+count*entrySize(dim) > len(buf) {
+		return nil, fmt.Errorf("rstar: corrupt node: %d entries exceed page", count)
+	}
+	off := nodeHeaderSize
+	n.entries = make([]entry, count)
+	for k := 0; k < count; k++ {
+		min := make([]float64, dim)
+		max := make([]float64, dim)
+		for i := 0; i < dim; i++ {
+			min[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+			off += 8
+		}
+		for i := 0; i < dim; i++ {
+			max[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+			off += 8
+		}
+		payload := binary.LittleEndian.Uint64(buf[off:])
+		off += 8
+		e := entry{rect: Rect{Min: min, Max: max}}
+		if n.leaf {
+			e.data = int64(payload)
+		} else {
+			e.child = storage.PageID(payload)
+		}
+		n.entries[k] = e
+	}
+	return n, nil
+}

@@ -1,0 +1,216 @@
+package rstar
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func buildIndexes(t *testing.T, rects []Rect) (*JointIndex, *SeparateIndex, *ScanIndex, *brute) {
+	t.Helper()
+	joint, err := NewJointIndex(2, 512, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sep, err := NewSeparateIndex(2, 512, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan := NewScanIndex(2, 512)
+	ref := &brute{}
+	for i, r := range rects {
+		for _, ix := range []Index{joint, sep, scan} {
+			if err := ix.Add(r, int64(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ref.add(r, int64(i))
+	}
+	return joint, sep, scan, ref
+}
+
+func sortedIDs(ids []int64) []int64 {
+	out := append([]int64{}, ids...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TestStrategiesAgree: all three strategies must return the same ids as
+// brute force, for both two-attribute and one-attribute queries.
+func TestStrategiesAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	var rects []Rect
+	for i := 0; i < 1500; i++ {
+		rects = append(rects, randRect(rng, 2, 3000, 100))
+	}
+	joint, sep, scan, ref := buildIndexes(t, rects)
+
+	queries := []Rect{
+		Rect2(100, 100, 400, 400),                            // both attributes
+		Rect2(0, 0, 3000, 3000),                              // everything
+		UnboundedQuery(2, map[int][2]float64{0: {0, 500}}),   // x only
+		UnboundedQuery(2, map[int][2]float64{1: {200, 900}}), // y only
+		UnboundedQuery(2, nil),                               // unrestricted
+		Rect2(2900, 2900, 3200, 3200),                        // corner
+	}
+	for qi, q := range queries {
+		want := ref.search(q)
+		for name, ix := range map[string]Index{"joint": joint, "separate": sep, "scan": scan} {
+			ids, accesses, err := ix.Query(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(ids) != len(want) {
+				t.Errorf("query %d via %s: %d ids, want %d", qi, name, len(ids), len(want))
+				continue
+			}
+			for _, id := range ids {
+				if !want[id] {
+					t.Errorf("query %d via %s: spurious id %d", qi, name, id)
+				}
+			}
+			if accesses == 0 {
+				t.Errorf("query %d via %s: zero accesses reported", qi, name)
+			}
+		}
+	}
+}
+
+// TestPaperShapeTwoAttributeQueries asserts the headline result of §5.4.1:
+// on queries restricting both attributes, the joint index costs fewer
+// accesses than two separate indices.
+func TestPaperShapeTwoAttributeQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var rects []Rect
+	for i := 0; i < 3000; i++ {
+		rects = append(rects, randRect(rng, 2, 3000, 100))
+	}
+	joint, sep, _, _ := buildIndexes(t, rects)
+	var jointTotal, sepTotal uint64
+	for k := 0; k < 60; k++ {
+		q := randRect(rng, 2, 3000, 100)
+		_, aj, err := joint.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, as, err := sep.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jointTotal += aj
+		sepTotal += as
+	}
+	if jointTotal >= sepTotal {
+		t.Errorf("joint (%d) not cheaper than separate (%d) on two-attribute queries", jointTotal, sepTotal)
+	}
+	t.Logf("two-attribute queries: joint=%d separate=%d accesses", jointTotal, sepTotal)
+}
+
+// TestPaperShapeOneAttributeQueries asserts §5.4.2: on queries restricting
+// a single attribute, the separate index is better (it searches one
+// 1-D tree; the joint tree must fan out across the unrestricted
+// dimension).
+func TestPaperShapeOneAttributeQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	var rects []Rect
+	for i := 0; i < 3000; i++ {
+		rects = append(rects, randRect(rng, 2, 3000, 100))
+	}
+	joint, sep, _, _ := buildIndexes(t, rects)
+	var jointTotal, sepTotal uint64
+	for k := 0; k < 60; k++ {
+		lo := rng.Float64() * 2900
+		q := UnboundedQuery(2, map[int][2]float64{0: {lo, lo + rng.Float64()*100}})
+		_, aj, err := joint.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, as, err := sep.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jointTotal += aj
+		sepTotal += as
+	}
+	if sepTotal >= jointTotal {
+		t.Errorf("separate (%d) not cheaper than joint (%d) on one-attribute queries", sepTotal, jointTotal)
+	}
+	t.Logf("one-attribute queries: joint=%d separate=%d accesses", jointTotal, sepTotal)
+}
+
+// TestCornerCaseLowJointSelectivity reproduces the §5.3 thought experiment:
+// two constraints individually of ~50% selectivity whose conjunction is
+// nearly empty. The joint index answers in logarithmic accesses; the
+// separate indices pay for half the relation twice.
+func TestCornerCaseLowJointSelectivity(t *testing.T) {
+	joint, err := NewJointIndex(2, 512, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sep, err := NewSeparateIndex(2, 512, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(44))
+	// Data along the diagonal: x small ⟺ y small. Query: x < a AND y > b
+	// with a small, b large — each half selective alone, conjunction empty.
+	for i := 0; i < 4000; i++ {
+		base := rng.Float64() * 3000
+		r := Rect2(base, base, base+10, base+10)
+		if err := joint.Add(r, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+		if err := sep.Add(r, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := Rect2(-1e308, 1500, 1500, 1e308) // x <= 1500 AND y >= 1500
+	idsJ, aj, err := joint.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idsS, as, err := sep.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sortedIDs(idsJ)) != len(sortedIDs(idsS)) {
+		t.Fatalf("strategies disagree: %d vs %d", len(idsJ), len(idsS))
+	}
+	if aj*3 > as {
+		t.Errorf("corner case advantage too small: joint=%d separate=%d", aj, as)
+	}
+	t.Logf("corner case: joint=%d separate=%d accesses, %d results", aj, as, len(idsJ))
+}
+
+func TestScanIndexAccessesConstant(t *testing.T) {
+	scan := NewScanIndex(2, 512)
+	for i := 0; i < 1000; i++ {
+		if err := scan.Add(Rect2(float64(i), 0, float64(i+1), 1), int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, a1, _ := scan.Query(Rect2(0, 0, 1, 1))
+	_, a2, _ := scan.Query(Rect2(0, 0, 1000, 1))
+	if a1 != a2 {
+		t.Errorf("scan accesses vary: %d vs %d", a1, a2)
+	}
+	if a1 == 0 {
+		t.Error("scan accesses zero")
+	}
+	if err := scan.Add(Rect1(0, 1), 5); err == nil {
+		t.Error("dim mismatch accepted")
+	}
+}
+
+func TestSeparateIndexValidation(t *testing.T) {
+	sep, err := NewSeparateIndex(2, 512, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sep.Add(Rect1(0, 1), 1); err == nil {
+		t.Error("dim mismatch accepted")
+	}
+	if _, _, err := sep.Query(Rect1(0, 1)); err == nil {
+		t.Error("query dim mismatch accepted")
+	}
+}

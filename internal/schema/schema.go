@@ -1,0 +1,258 @@
+// Package schema defines heterogeneous relation schemas for CQA/CDB.
+//
+// The central extension over the classical constraint data model (§3 of the
+// paper) is the per-attribute C/R flag: every attribute is declared either
+//
+//   - Relational: classical finite-value semantics; a tuple missing the
+//     attribute carries NULL, which is distinct from every domain value
+//     ("narrow" interpretation), or
+//   - Constraint: Kanellakis-Kuper-Revesz semantics; a tuple with no
+//     constraints on the attribute admits every domain value ("broad"
+//     interpretation).
+//
+// The flag is what makes the heterogeneous data model upwardly compatible
+// with the relational model while retaining the constraint model's ability
+// to represent infinite (spatiotemporal) extents.
+package schema
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Type is the domain of an attribute.
+type Type int
+
+const (
+	// String attributes hold finite symbolic values (ids, names).
+	String Type = iota
+	// Rational attributes range over the rational numbers.
+	Rational
+)
+
+func (t Type) String() string {
+	switch t {
+	case String:
+		return "string"
+	case Rational:
+		return "rational"
+	default:
+		return fmt.Sprintf("Type(%d)", int(t))
+	}
+}
+
+// Kind is the C/R flag of an attribute.
+type Kind int
+
+const (
+	// Relational attributes use narrow (NULL) missing-value semantics.
+	Relational Kind = iota
+	// Constraint attributes use broad (unconstrained) missing-value
+	// semantics and may participate in linear constraints.
+	Constraint
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Relational:
+		return "relational"
+	case Constraint:
+		return "constraint"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Attribute is a named, typed, C/R-flagged column.
+type Attribute struct {
+	Name string
+	Type Type
+	Kind Kind
+}
+
+func (a Attribute) String() string {
+	return fmt.Sprintf("%s: %s, %s", a.Name, a.Type, a.Kind)
+}
+
+// Rel returns a relational attribute.
+func Rel(name string, t Type) Attribute {
+	return Attribute{Name: name, Type: t, Kind: Relational}
+}
+
+// Con returns a constraint attribute (always rational).
+func Con(name string) Attribute {
+	return Attribute{Name: name, Type: Rational, Kind: Constraint}
+}
+
+// Schema is an immutable ordered set of attributes with unique names.
+type Schema struct {
+	attrs  []Attribute
+	byName map[string]int
+}
+
+// New validates and builds a schema. Attribute names must be unique and
+// non-empty; constraint attributes must be rational (linear constraints
+// over strings are meaningless).
+func New(attrs ...Attribute) (Schema, error) {
+	byName := make(map[string]int, len(attrs))
+	for i, a := range attrs {
+		if a.Name == "" {
+			return Schema{}, fmt.Errorf("schema: attribute %d has empty name", i)
+		}
+		if _, dup := byName[a.Name]; dup {
+			return Schema{}, fmt.Errorf("schema: duplicate attribute %q", a.Name)
+		}
+		if a.Kind == Constraint && a.Type != Rational {
+			return Schema{}, fmt.Errorf("schema: constraint attribute %q must be rational, got %s", a.Name, a.Type)
+		}
+		byName[a.Name] = i
+	}
+	return Schema{attrs: append([]Attribute{}, attrs...), byName: byName}, nil
+}
+
+// MustNew is like New but panics on error. Intended for fixtures and tests.
+func MustNew(attrs ...Attribute) Schema {
+	s, err := New(attrs...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Len returns the arity of the schema.
+func (s Schema) Len() int { return len(s.attrs) }
+
+// Attrs returns the attributes in declaration order. The result must not be
+// mutated.
+func (s Schema) Attrs() []Attribute { return s.attrs }
+
+// Names returns the attribute names in declaration order.
+func (s Schema) Names() []string {
+	out := make([]string, len(s.attrs))
+	for i, a := range s.attrs {
+		out[i] = a.Name
+	}
+	return out
+}
+
+// Has reports whether the schema contains an attribute with the given name.
+func (s Schema) Has(name string) bool {
+	_, ok := s.byName[name]
+	return ok
+}
+
+// Attr returns the attribute with the given name.
+func (s Schema) Attr(name string) (Attribute, bool) {
+	i, ok := s.byName[name]
+	if !ok {
+		return Attribute{}, false
+	}
+	return s.attrs[i], true
+}
+
+// ConstraintNames returns the names of the constraint attributes, in order.
+func (s Schema) ConstraintNames() []string {
+	var out []string
+	for _, a := range s.attrs {
+		if a.Kind == Constraint {
+			out = append(out, a.Name)
+		}
+	}
+	return out
+}
+
+// RelationalNames returns the names of the relational attributes, in order.
+func (s Schema) RelationalNames() []string {
+	var out []string
+	for _, a := range s.attrs {
+		if a.Kind == Relational {
+			out = append(out, a.Name)
+		}
+	}
+	return out
+}
+
+// Project returns the sub-schema consisting of the named attributes, in the
+// given order. All names must exist.
+func (s Schema) Project(names ...string) (Schema, error) {
+	attrs := make([]Attribute, 0, len(names))
+	for _, n := range names {
+		a, ok := s.Attr(n)
+		if !ok {
+			return Schema{}, fmt.Errorf("schema: project on unknown attribute %q", n)
+		}
+		attrs = append(attrs, a)
+	}
+	return New(attrs...)
+}
+
+// Rename returns the schema with attribute old renamed to new. Per the CQA
+// rename operator: old must exist and new must not.
+func (s Schema) Rename(old, new string) (Schema, error) {
+	if !s.Has(old) {
+		return Schema{}, fmt.Errorf("schema: rename of unknown attribute %q", old)
+	}
+	if s.Has(new) {
+		return Schema{}, fmt.Errorf("schema: rename target %q already exists", new)
+	}
+	attrs := append([]Attribute{}, s.attrs...)
+	for i := range attrs {
+		if attrs[i].Name == old {
+			attrs[i].Name = new
+		}
+	}
+	return New(attrs...)
+}
+
+// Equal reports whether the schemas have the same attributes as *sets*
+// (names, types and kinds; order-insensitive). This is the compatibility
+// notion for union and difference: α(R1) = α(R2).
+func (s Schema) Equal(o Schema) bool {
+	if len(s.attrs) != len(o.attrs) {
+		return false
+	}
+	for _, a := range s.attrs {
+		b, ok := o.Attr(a.Name)
+		if !ok || a != b {
+			return false
+		}
+	}
+	return true
+}
+
+// Join returns the natural-join schema α(R1) ∪ α(R2): shared attributes
+// must agree on type and kind; the result lists s's attributes first,
+// then o's non-shared attributes.
+func (s Schema) Join(o Schema) (Schema, error) {
+	attrs := append([]Attribute{}, s.attrs...)
+	for _, b := range o.attrs {
+		a, shared := s.Attr(b.Name)
+		if shared {
+			if a != b {
+				return Schema{}, fmt.Errorf("schema: shared attribute %q differs: %s vs %s", b.Name, a, b)
+			}
+			continue
+		}
+		attrs = append(attrs, b)
+	}
+	return New(attrs...)
+}
+
+// String renders the schema in the paper's notation:
+// "[landId: string, relational; x: rational, constraint; ...]".
+func (s Schema) String() string {
+	parts := make([]string, len(s.attrs))
+	for i, a := range s.attrs {
+		parts[i] = a.String()
+	}
+	return "[" + strings.Join(parts, "; ") + "]"
+}
+
+// SortedNames returns the attribute names sorted alphabetically (useful for
+// canonical output).
+func (s Schema) SortedNames() []string {
+	out := s.Names()
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,165 @@
+package spatial
+
+import (
+	"fmt"
+	"sort"
+
+	"cdb/internal/geometry"
+	"cdb/internal/rational"
+)
+
+// More whole-feature operators in the §4 family. Like Buffer-Join and
+// k-Nearest they return relations over feature IDs (safe by construction)
+// and decide every predicate exactly:
+//
+//   - Overlaps: pairs of features sharing at least one point;
+//   - CoveredBy: pairs (a, b) where feature a lies entirely inside region
+//     feature b;
+//   - WithinDistOf: the feature IDs of one layer within distance d of a
+//     fixed query geometry (the "range query by feature" primitive that
+//     Buffer-Join iterates).
+
+// Overlaps returns all pairs (a ∈ l, b ∈ o) whose geometries intersect
+// (squared distance zero), in deterministic order.
+func Overlaps(l, o *Layer) []Pair {
+	var out []Pair
+	for _, fa := range l.features {
+		for _, fb := range o.features {
+			if SqDist(fa.Geom, fb.Geom).IsZero() {
+				out = append(out, Pair{Left: fa.ID, Right: fb.ID})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Left != out[j].Left {
+			return out[i].Left < out[j].Left
+		}
+		return out[i].Right < out[j].Right
+	})
+	return out
+}
+
+// coveredByRegion reports whether g lies entirely within the closed
+// polygon p (exact).
+func coveredByRegion(g Geometry, p geometry.Polygon) bool {
+	switch g.Kind() {
+	case KindPoint:
+		return p.Contains(g.Point())
+	case KindLine:
+		// A polyline is inside a polygon iff every vertex is inside and no
+		// segment crosses the boundary to the outside. For a (possibly
+		// concave) simple polygon, "all vertices inside and no proper edge
+		// crossing" is equivalent to containment of the whole chain; edge
+		// *touching* is allowed (closed containment).
+		for _, v := range g.Line().Vertices() {
+			if !p.Contains(v) {
+				return false
+			}
+		}
+		for _, s := range g.Line().Segments() {
+			if segmentLeavesPolygon(s, p) {
+				return false
+			}
+		}
+		return true
+	default:
+		inner := g.Region()
+		for _, v := range inner.Vertices() {
+			if !p.Contains(v) {
+				return false
+			}
+		}
+		for _, s := range inner.Edges() {
+			if segmentLeavesPolygon(s, p) {
+				return false
+			}
+		}
+		return true
+	}
+}
+
+// segmentLeavesPolygon reports whether some interior point of s lies
+// outside p, assuming both endpooints are inside. It checks the midpoints
+// of the segment pieces cut by polygon-edge intersections.
+func segmentLeavesPolygon(s geometry.Segment, p geometry.Polygon) bool {
+	// Collect intersection parameters with polygon edges; between two
+	// consecutive crossing points the segment is entirely inside or
+	// entirely outside, so testing piece midpoints is exact.
+	params := []rational.Rat{rational.Zero, rational.One}
+	d := s.B.Sub(s.A)
+	for _, e := range p.Edges() {
+		if t, ok := segmentIntersectionParam(s, e); ok {
+			params = append(params, t)
+		}
+	}
+	sort.Slice(params, func(i, j int) bool { return params[i].Less(params[j]) })
+	for i := 0; i+1 < len(params); i++ {
+		mid := params[i].Add(params[i+1]).Mul(rational.Half)
+		pt := s.A.Add(d.Scale(mid))
+		if !p.Contains(pt) {
+			return true
+		}
+	}
+	return false
+}
+
+// segmentIntersectionParam returns the parameter t ∈ [0,1] along s where
+// it crosses the supporting line of e within e's extent, when the
+// segments properly intersect at a single point.
+func segmentIntersectionParam(s, e geometry.Segment) (rational.Rat, bool) {
+	d1 := s.B.Sub(s.A)
+	d2 := e.B.Sub(e.A)
+	den := d1.Cross(d2)
+	if den.IsZero() {
+		return rational.Rat{}, false // parallel or collinear
+	}
+	diff := e.A.Sub(s.A)
+	t := diff.Cross(d2).Div(den)
+	u := diff.Cross(d1).Div(den)
+	if t.Sign() < 0 || rational.One.Less(t) || u.Sign() < 0 || rational.One.Less(u) {
+		return rational.Rat{}, false
+	}
+	return t, true
+}
+
+// CoveredBy returns all pairs (a ∈ l, b ∈ o) where b is a region feature
+// that entirely contains a. Non-region right-hand features never cover
+// anything (points and lines have empty interiors).
+func CoveredBy(l, o *Layer) []Pair {
+	var out []Pair
+	for _, fb := range o.features {
+		if fb.Geom.Kind() != KindRegion {
+			continue
+		}
+		region := fb.Geom.Region()
+		for _, fa := range l.features {
+			if coveredByRegion(fa.Geom, region) {
+				out = append(out, Pair{Left: fa.ID, Right: fb.ID})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Left != out[j].Left {
+			return out[i].Left < out[j].Left
+		}
+		return out[i].Right < out[j].Right
+	})
+	return out
+}
+
+// WithinDistOf returns the IDs of features in l within distance d of the
+// query geometry, sorted.
+func WithinDistOf(l *Layer, q Geometry, d rational.Rat) ([]string, error) {
+	if d.Sign() < 0 {
+		return nil, fmt.Errorf("spatial: negative distance %s", d)
+	}
+	d2 := d.Mul(d)
+	var out []string
+	for _, f := range l.features {
+		if SqDist(f.Geom, q).LessEq(d2) {
+			out = append(out, f.ID)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}

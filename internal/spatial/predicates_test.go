@@ -1,0 +1,145 @@
+package spatial
+
+import (
+	"testing"
+
+	"cdb/internal/geometry"
+)
+
+func predicateLayers() (*Layer, *Layer) {
+	regions := NewLayer("regions")
+	regions.MustAdd(Feature{ID: "big", Geom: RegionGeom(geometry.RectPoly(0, 0, 10, 10))})
+	regions.MustAdd(Feature{ID: "side", Geom: RegionGeom(geometry.RectPoly(20, 0, 30, 10))})
+	// Concave region with a notch at (3,3)-(7,7)... an L-shape.
+	regions.MustAdd(Feature{ID: "ell", Geom: RegionGeom(geometry.MustPolygon(
+		geometry.Pt(40, 0), geometry.Pt(50, 0), geometry.Pt(50, 4),
+		geometry.Pt(44, 4), geometry.Pt(44, 10), geometry.Pt(40, 10)))})
+
+	things := NewLayer("things")
+	things.MustAdd(Feature{ID: "inner-pt", Geom: PointGeom(geometry.Pt(5, 5))})
+	things.MustAdd(Feature{ID: "edge-pt", Geom: PointGeom(geometry.Pt(10, 5))})
+	things.MustAdd(Feature{ID: "outer-pt", Geom: PointGeom(geometry.Pt(15, 5))})
+	things.MustAdd(Feature{ID: "inner-line", Geom: LineGeom(geometry.MustPolyline(
+		geometry.Pt(1, 1), geometry.Pt(9, 1), geometry.Pt(9, 9)))})
+	things.MustAdd(Feature{ID: "crossing-line", Geom: LineGeom(geometry.MustPolyline(
+		geometry.Pt(5, 5), geometry.Pt(25, 5)))})
+	things.MustAdd(Feature{ID: "inner-region", Geom: RegionGeom(geometry.RectPoly(2, 2, 8, 8))})
+	// In the L's bounding box but crossing the notch: endpoints inside the
+	// two arms, middle outside the polygon.
+	things.MustAdd(Feature{ID: "notch-line", Geom: LineGeom(geometry.MustPolyline(
+		geometry.Pt(42, 9), geometry.Pt(49, 2)))})
+	return things, regions
+}
+
+func TestOverlaps(t *testing.T) {
+	things, regions := predicateLayers()
+	pairs := Overlaps(things, regions)
+	got := map[Pair]bool{}
+	for _, p := range pairs {
+		got[p] = true
+	}
+	want := []Pair{
+		{Left: "inner-pt", Right: "big"},
+		{Left: "edge-pt", Right: "big"}, // boundary touch counts (closed sets)
+		{Left: "inner-line", Right: "big"},
+		{Left: "crossing-line", Right: "big"},
+		{Left: "crossing-line", Right: "side"},
+		{Left: "inner-region", Right: "big"},
+		{Left: "notch-line", Right: "ell"},
+	}
+	for _, p := range want {
+		if !got[p] {
+			t.Errorf("missing %v", p)
+		}
+	}
+	if got[Pair{Left: "outer-pt", Right: "big"}] {
+		t.Error("outer point overlaps")
+	}
+}
+
+func TestCoveredBy(t *testing.T) {
+	things, regions := predicateLayers()
+	pairs := CoveredBy(things, regions)
+	got := map[Pair]bool{}
+	for _, p := range pairs {
+		got[p] = true
+	}
+	for _, p := range []Pair{
+		{Left: "inner-pt", Right: "big"},
+		{Left: "edge-pt", Right: "big"}, // closed containment: boundary ok
+		{Left: "inner-line", Right: "big"},
+		{Left: "inner-region", Right: "big"},
+	} {
+		if !got[p] {
+			t.Errorf("missing %v (got %v)", p, pairs)
+		}
+	}
+	for _, p := range []Pair{
+		{Left: "outer-pt", Right: "big"},
+		{Left: "crossing-line", Right: "big"}, // leaves through the right edge
+		{Left: "notch-line", Right: "ell"},    // endpoints inside, middle outside
+		{Left: "inner-region", Right: "side"}, // disjoint
+		{Left: "inner-pt", Right: "inner-pt"}, // non-region right side
+	} {
+		if got[p] {
+			t.Errorf("spurious %v", p)
+		}
+	}
+	// A region covers itself.
+	self := CoveredBy(regions, regions)
+	selfGot := map[Pair]bool{}
+	for _, p := range self {
+		selfGot[p] = true
+	}
+	for _, id := range []string{"big", "side", "ell"} {
+		if !selfGot[Pair{Left: id, Right: id}] {
+			t.Errorf("%s does not cover itself", id)
+		}
+	}
+	if selfGot[Pair{Left: "big", Right: "side"}] {
+		t.Error("disjoint cover")
+	}
+}
+
+func TestWithinDistOf(t *testing.T) {
+	things, _ := predicateLayers()
+	ids, err := WithinDistOf(things, PointGeom(geometry.Pt(12, 5)), q("2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// edge-pt at distance 2 (boundary included), crossing-line passes
+	// through (12,5).
+	want := map[string]bool{"edge-pt": true, "crossing-line": true}
+	if len(ids) != len(want) {
+		t.Fatalf("ids = %v", ids)
+	}
+	for _, id := range ids {
+		if !want[id] {
+			t.Errorf("spurious %s", id)
+		}
+	}
+	if _, err := WithinDistOf(things, PointGeom(geometry.Pt(0, 0)), q("-1")); err == nil {
+		t.Error("negative distance accepted")
+	}
+}
+
+func TestSegmentLeavesPolygonExactness(t *testing.T) {
+	// A chord across the L-shape's notch: both endpoints on the boundary,
+	// strictly-outside middle must be detected exactly.
+	ell := geometry.MustPolygon(
+		geometry.Pt(0, 0), geometry.Pt(10, 0), geometry.Pt(10, 4),
+		geometry.Pt(4, 4), geometry.Pt(4, 10), geometry.Pt(0, 10))
+	leaves := segmentLeavesPolygon(geometry.Seg(2, 9, 9, 2), ell)
+	if !leaves {
+		t.Error("notch chord not detected")
+	}
+	stays := segmentLeavesPolygon(geometry.Seg(1, 1, 9, 1), ell)
+	if stays {
+		t.Error("interior chord flagged")
+	}
+	// A segment along the boundary stays inside (closed containment).
+	onEdge := segmentLeavesPolygon(geometry.Seg(0, 0, 10, 0), ell)
+	if onEdge {
+		t.Error("boundary segment flagged")
+	}
+}

@@ -1,0 +1,134 @@
+package spatial
+
+import (
+	"fmt"
+	"sort"
+
+	"cdb/internal/convert"
+	"cdb/internal/geometry"
+	"cdb/internal/rational"
+	"cdb/internal/relation"
+)
+
+// This file implements the whole-feature operators directly over spatial
+// constraint relations (the §4.2 representation): a feature is the union
+// of the regions of all tuples carrying its ID, and feature distance is
+// the minimum over piece pairs. This is the form the query language's
+// buffer-join and k-nearest statements evaluate.
+
+// RelationGeometries groups a spatial constraint relation's tuples by
+// feature ID and converts each tuple's region to exact geometry. It
+// returns the geometry pieces per feature and the feature IDs in first-
+// appearance order.
+func RelationGeometries(r *relation.Relation, fidName, xVar, yVar string) (map[string][]Geometry, []string, error) {
+	if !r.Schema().Has(fidName) || !r.Schema().Has(xVar) || !r.Schema().Has(yVar) {
+		return nil, nil, fmt.Errorf("spatial: relation lacks attributes (%s, %s, %s): schema %s",
+			fidName, xVar, yVar, r.Schema())
+	}
+	groups := map[string][]Geometry{}
+	var order []string
+	for ti, t := range r.Tuples() {
+		idV, ok := t.RVal(fidName)
+		if !ok {
+			return nil, nil, fmt.Errorf("spatial: tuple %d has NULL feature id", ti)
+		}
+		id, _ := idV.AsString()
+		con := t.Constraint()
+		var g Geometry
+		if poly, err := convert.ConjunctionToPolygon(con, xVar, yVar); err == nil {
+			g = RegionGeom(poly)
+		} else if seg, err := convert.ConjunctionToSegment(con, xVar, yVar); err == nil {
+			g = LineGeom(geometry.MustPolyline(seg.A, seg.B))
+		} else if vs, err := convert.ConjunctionVertices(con, xVar, yVar); err == nil && len(vs) > 0 {
+			g = PointGeom(vs[0])
+		} else {
+			return nil, nil, fmt.Errorf("spatial: tuple %d of feature %q: cannot geometrise %s: %v",
+				ti, id, con, err)
+		}
+		if _, seen := groups[id]; !seen {
+			order = append(order, id)
+		}
+		groups[id] = append(groups[id], g)
+	}
+	return groups, order, nil
+}
+
+// featureSqDist is the exact squared distance between two features given
+// as unions of pieces: the minimum over piece pairs.
+func featureSqDist(a, b []Geometry) rational.Rat {
+	var min rational.Rat
+	first := true
+	for _, ga := range a {
+		for _, gb := range b {
+			d := SqDist(ga, gb)
+			if first || d.Less(min) {
+				min, first = d, false
+			}
+			if !first && min.IsZero() {
+				return min
+			}
+		}
+	}
+	return min
+}
+
+// BufferJoinRelations is Buffer-Join over two spatial constraint
+// relations: all ID pairs whose features lie within distance d. Each
+// relation names its own (fid, x, y) attribute triple. The result is the
+// safe relation of ID pairs.
+func BufferJoinRelations(r1 *relation.Relation, fid1, x1, y1 string,
+	r2 *relation.Relation, fid2, x2, y2 string, d rational.Rat) ([]Pair, error) {
+	if d.Sign() < 0 {
+		return nil, fmt.Errorf("spatial: negative buffer distance %s", d)
+	}
+	g1, order1, err := RelationGeometries(r1, fid1, x1, y1)
+	if err != nil {
+		return nil, err
+	}
+	g2, order2, err := RelationGeometries(r2, fid2, x2, y2)
+	if err != nil {
+		return nil, err
+	}
+	d2 := d.Mul(d)
+	var out []Pair
+	for _, a := range order1 {
+		for _, b := range order2 {
+			if featureSqDist(g1[a], g2[b]).LessEq(d2) {
+				out = append(out, Pair{Left: a, Right: b})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Left != out[j].Left {
+			return out[i].Left < out[j].Left
+		}
+		return out[i].Right < out[j].Right
+	})
+	return out, nil
+}
+
+// KNearestRelation is k-Nearest over a spatial constraint relation: the k
+// feature IDs nearest to the query geometry, exactly ordered.
+func KNearestRelation(r *relation.Relation, fidName, xVar, yVar string, q Geometry, k int) ([]Neighbor, error) {
+	if k < 0 {
+		return nil, fmt.Errorf("spatial: negative k")
+	}
+	groups, order, err := RelationGeometries(r, fidName, xVar, yVar)
+	if err != nil {
+		return nil, err
+	}
+	all := make([]Neighbor, 0, len(order))
+	for _, id := range order {
+		all = append(all, Neighbor{ID: id, SqDist: featureSqDist(groups[id], []Geometry{q})})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if c := all[i].SqDist.Cmp(all[j].SqDist); c != 0 {
+			return c < 0
+		}
+		return all[i].ID < all[j].ID
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	return all[:k], nil
+}

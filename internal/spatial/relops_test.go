@@ -1,0 +1,146 @@
+package spatial
+
+import (
+	"testing"
+
+	"cdb/internal/constraint"
+	"cdb/internal/geometry"
+	"cdb/internal/relation"
+)
+
+// mixedSpatialRelation builds a spatial relation with a region feature, a
+// two-piece (concave) feature, a segment feature, and a point feature.
+func mixedSpatialRelation(t *testing.T) *relation.Relation {
+	t.Helper()
+	layer := NewLayer("m")
+	layer.MustAdd(Feature{ID: "sq", Geom: RegionGeom(geometry.RectPoly(0, 0, 4, 4))})
+	layer.MustAdd(Feature{ID: "ell", Geom: RegionGeom(geometry.MustPolygon(
+		geometry.Pt(10, 0), geometry.Pt(14, 0), geometry.Pt(14, 2),
+		geometry.Pt(12, 2), geometry.Pt(12, 4), geometry.Pt(10, 4)))})
+	layer.MustAdd(Feature{ID: "seg", Geom: LineGeom(geometry.MustPolyline(
+		geometry.Pt(0, 10), geometry.Pt(4, 10)))})
+	layer.MustAdd(Feature{ID: "pt", Geom: PointGeom(geometry.Pt(20, 20))})
+	r, err := ToRelation(layer, "fid", "x", "y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestRelationGeometries(t *testing.T) {
+	r := mixedSpatialRelation(t)
+	groups, order, err := RelationGeometries(r, "fid", "x", "y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 4 {
+		t.Fatalf("order = %v", order)
+	}
+	if len(groups["ell"]) < 2 {
+		t.Errorf("concave feature has %d pieces", len(groups["ell"]))
+	}
+	if groups["seg"][0].Kind() != KindLine {
+		t.Errorf("segment came back as %v", groups["seg"][0].Kind())
+	}
+	if groups["pt"][0].Kind() != KindPoint {
+		t.Errorf("point came back as %v", groups["pt"][0].Kind())
+	}
+	// Errors.
+	if _, _, err := RelationGeometries(r, "nope", "x", "y"); err == nil {
+		t.Error("missing fid attribute accepted")
+	}
+	bad := relation.New(SpatialSchema("fid", "x", "y"))
+	bad.MustAdd(relation.ConstraintTuple(constraint.True())) // NULL fid
+	if _, _, err := RelationGeometries(bad, "fid", "x", "y"); err == nil {
+		t.Error("NULL fid accepted")
+	}
+	unbounded := relation.New(SpatialSchema("fid", "x", "y"))
+	unbounded.MustAdd(relation.NewTuple(
+		map[string]relation.Value{"fid": relation.Str("inf")},
+		constraint.And(constraint.GeConst("x", q("0")))))
+	if _, _, err := RelationGeometries(unbounded, "fid", "x", "y"); err == nil {
+		t.Error("unbounded region accepted")
+	}
+}
+
+func TestBufferJoinRelationsMinOverPieces(t *testing.T) {
+	r := mixedSpatialRelation(t)
+	// Probe layer: one point between the two arms of the L.
+	probe := NewLayer("probe")
+	probe.MustAdd(Feature{ID: "p1", Geom: PointGeom(geometry.Pt(13, 3))})
+	pr, err := ToRelation(probe, "pid", "px", "py")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// p1 is at distance 1 from the ell's lower arm (y<=2 at x=13) and
+	// distance 1 from the left arm (x<=12 at y=3): within 1 of "ell" even
+	// though the distance to any single piece's hull complement might
+	// differ — min over pieces is what matters.
+	pairs, err := BufferJoinRelations(pr, "pid", "px", "py", r, "fid", "x", "y", q("1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, p := range pairs {
+		if p.Left == "p1" && p.Right == "ell" {
+			found = true
+		}
+		if p.Right == "pt" || p.Right == "sq" || p.Right == "seg" {
+			t.Errorf("far feature matched: %v", p)
+		}
+	}
+	if !found {
+		t.Errorf("p1-ell missing: %v", pairs)
+	}
+	// Negative distance rejected.
+	if _, err := BufferJoinRelations(pr, "pid", "px", "py", r, "fid", "x", "y", q("-1")); err == nil {
+		t.Error("negative distance accepted")
+	}
+	// Exactness at the boundary: distance exactly 1 included, 1-ε not.
+	pairsEps, err := BufferJoinRelations(pr, "pid", "px", "py", r, "fid", "x", "y", q("999/1000"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairsEps) != 0 {
+		t.Errorf("sub-boundary distance matched: %v", pairsEps)
+	}
+}
+
+func TestKNearestRelation(t *testing.T) {
+	r := mixedSpatialRelation(t)
+	ns, err := KNearestRelation(r, "fid", "x", "y", PointGeom(geometry.Pt(5, 5)), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ns) != 2 {
+		t.Fatalf("got %v", ns)
+	}
+	// Nearest to (5,5): sq's corner (4,4) at sqdist 2; then seg (0..4,10)
+	// at sqdist (5-4)²+(10-5)² = 26, vs ell corner (10,?) at >= 25+1=26?
+	// ell's closest point is (10, 4): (5)² + (1)² = 26. Tie between seg at
+	// (4,10): 1+25 = 26 and ell at 26 — ID order: "ell" < "seg".
+	if ns[0].ID != "sq" || !ns[0].SqDist.Equal(q("2")) {
+		t.Errorf("nearest = %+v", ns[0])
+	}
+	if ns[1].ID != "ell" || !ns[1].SqDist.Equal(q("26")) {
+		t.Errorf("second = %+v (tie must break by ID)", ns[1])
+	}
+	if _, err := KNearestRelation(r, "fid", "x", "y", PointGeom(geometry.Pt(0, 0)), -1); err == nil {
+		t.Error("negative k accepted")
+	}
+	all, _ := KNearestRelation(r, "fid", "x", "y", PointGeom(geometry.Pt(0, 0)), 99)
+	if len(all) != 4 {
+		t.Errorf("k beyond size = %d", len(all))
+	}
+}
+
+func TestFeatureSqDistZeroShortCircuit(t *testing.T) {
+	a := []Geometry{RegionGeom(geometry.RectPoly(0, 0, 2, 2)), PointGeom(geometry.Pt(100, 100))}
+	b := []Geometry{PointGeom(geometry.Pt(1, 1))}
+	if d := featureSqDist(a, b); !d.IsZero() {
+		t.Errorf("distance = %s", d)
+	}
+	if d := featureSqDist(b, a); !d.IsZero() {
+		t.Errorf("symmetric distance = %s", d)
+	}
+}
