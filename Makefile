@@ -1,0 +1,20 @@
+GO ?= go
+
+.PHONY: build test check bench bench-parallel
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The pre-submit gate: vet + race-enabled tests (same as scripts/check.sh).
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x .
+
+bench-parallel:
+	$(GO) test -bench Parallel -benchtime 5x .

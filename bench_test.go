@@ -20,6 +20,7 @@ import (
 	"cdb/internal/constraint"
 	"cdb/internal/cqa"
 	"cdb/internal/datagen"
+	"cdb/internal/exec"
 	"cdb/internal/geometry"
 	"cdb/internal/hurricane"
 	"cdb/internal/query"
@@ -422,4 +423,97 @@ func BenchmarkHurricaneSuite(b *testing.B) {
 			}
 		}
 	}
+}
+
+// --- parallel execution benches (internal/exec worker pool) ---
+
+// parBenchInputs builds two workload-derived constraint relations with no
+// shared relational attribute, so the natural join degenerates to the
+// worst case: every one of the n×n tuple pairs reaches the merge +
+// satisfiability check that the exec layer fans out.
+func parBenchInputs(b *testing.B, n int) (*relation.Relation, *relation.Relation) {
+	b.Helper()
+	p := datagen.Scaled(10)
+	r1 := datagen.BoxRelation(p, n, 0)
+	p2 := p
+	p2.Seed += 1000
+	r2, err := cqa.Rename(datagen.BoxRelation(p2, n, 0), "id", "id2")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r1, r2
+}
+
+// parWorkerCounts are the pool sizes the parallel benches sweep; compare
+// workers=1 (sequential) against workers=4 for the speedup headline.
+var parWorkerCounts = []int{1, 2, 4}
+
+func benchOpParallel(b *testing.B, run func(ec *exec.Context) error) {
+	b.Helper()
+	for _, workers := range parWorkerCounts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			ec := exec.New(workers)
+			ec.SeqThreshold = 1
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := run(ec); err != nil {
+					b.Fatal(err)
+				}
+				ec.Reset()
+			}
+		})
+	}
+}
+
+// BenchmarkJoinParallel: natural join over 40×40 = 1,600 tuple pairs,
+// every pair satisfiability-checked, at 1/2/4 workers.
+func BenchmarkJoinParallel(b *testing.B) {
+	r1, r2 := parBenchInputs(b, 40)
+	benchOpParallel(b, func(ec *exec.Context) error {
+		_, err := cqa.JoinCtx(ec, r1, r2)
+		return err
+	})
+}
+
+// BenchmarkIntersectParallel: intersection (join of equal schemas) of two
+// 40-tuple relations.
+func BenchmarkIntersectParallel(b *testing.B) {
+	p := datagen.Scaled(10)
+	r1 := datagen.BoxRelation(p, 40, 0)
+	p2 := p
+	p2.Seed += 1000
+	r2 := datagen.BoxRelation(p2, 40, 0)
+	benchOpParallel(b, func(ec *exec.Context) error {
+		_, err := cqa.IntersectCtx(ec, r1, r2)
+		return err
+	})
+}
+
+// BenchmarkSelectParallel: selection with a !=-split atom over 1,000
+// constraint tuples.
+func BenchmarkSelectParallel(b *testing.B) {
+	p := datagen.Scaled(1)
+	r := datagen.BoxRelation(p, 1000, 0)
+	cond := cqa.Condition{
+		cqa.AttrCmpConst("x", cqa.OpLe, rational.FromInt(1500)),
+		cqa.AttrCmpConst("y", cqa.OpNe, rational.FromInt(700)),
+	}
+	benchOpParallel(b, func(ec *exec.Context) error {
+		_, err := cqa.SelectCtx(ec, r, cond)
+		return err
+	})
+}
+
+// BenchmarkDifferenceParallel: difference with repeated relational parts
+// (idMod 8), so tuples subtract full complement expansions.
+func BenchmarkDifferenceParallel(b *testing.B) {
+	p := datagen.Scaled(10)
+	r1 := datagen.BoxRelation(p, 120, 8)
+	p2 := p
+	p2.Seed += 1000
+	r2 := datagen.BoxRelation(p2, 60, 8)
+	benchOpParallel(b, func(ec *exec.Context) error {
+		_, err := cqa.DifferenceCtx(ec, r1, r2)
+		return err
+	})
 }

@@ -38,6 +38,7 @@ import (
 	"cdb/internal/cqa"
 	"cdb/internal/datagen"
 	"cdb/internal/db"
+	"cdb/internal/exec"
 	"cdb/internal/experiments"
 	"cdb/internal/geometry"
 	"cdb/internal/indefinite"
@@ -175,6 +176,41 @@ type Env = cqa.Env
 
 // Optimize rewrites a plan (selection pushdown, projection collapse, ...).
 func Optimize(n PlanNode, schemas cqa.SchemaEnv) PlanNode { return cqa.Optimize(n, schemas) }
+
+// --- parallel execution (package exec) ---
+
+// ExecContext carries the parallel execution policy (worker-pool size,
+// sequential-fallback threshold) and collects per-operator statistics.
+// Pass it to the *Ctx operator variants, Database.RunCtx, or
+// Program.RunCtx; a nil *ExecContext means sequential with no stats.
+// Parallel execution is deterministic: results are byte-identical to the
+// sequential path at any parallelism.
+type ExecContext = exec.Context
+
+// OpStats is one operator invocation's execution record (tuples in/out,
+// satisfiability checks, pruned-unsat count, wall time).
+type OpStats = exec.OpStats
+
+// NewExecContext returns an execution context with the given worker-pool
+// size (0 = GOMAXPROCS).
+func NewExecContext(parallelism int) *ExecContext { return exec.New(parallelism) }
+
+// FormatStats renders operator records as an aligned table.
+func FormatStats(stats []OpStats) string { return exec.FormatStats(stats) }
+
+// SelectCtx, ProjectCtx, JoinCtx, IntersectCtx, UnionCtx, RenameCtx,
+// DifferenceCtx are the CQA operators under an execution context: the
+// per-tuple(-pair) satisfiability work fans out over the context's worker
+// pool and per-operator stats are recorded on it.
+var (
+	SelectCtx     = cqa.SelectCtx
+	ProjectCtx    = cqa.ProjectCtx
+	JoinCtx       = cqa.JoinCtx
+	IntersectCtx  = cqa.IntersectCtx
+	UnionCtx      = cqa.UnionCtx
+	RenameCtx     = cqa.RenameCtx
+	DifferenceCtx = cqa.DifferenceCtx
+)
 
 // --- the query language ---
 

@@ -10,19 +10,32 @@
 //	cdbbench -expt fig5         # only Figure 5 (expts 2-A and 2-B)
 //	cdbbench -expt exp3         # the 500-query mixed workload
 //	cdbbench -expt corner       # the §5.3 corner case
+//	cdbbench -expt cqa          # parallel vs sequential CQA operator timings
 //	cdbbench -scale 10          # 1/10th of the data for a quick run
 //	cdbbench -page 512          # page (node) size in bytes
 //	cdbbench -buckets 8         # plot buckets per series
 //	cdbbench -verify            # check the paper's qualitative claims
+//
+// The cqa experiment times Join, Select, Intersect and Difference over
+// workload-derived constraint relations, sequentially and on the parallel
+// execution layer (-par workers, 0 = GOMAXPROCS; -cqasize tuples per
+// side), and reports per-operator speedups; -stats adds the per-operator
+// execution table (tuples in/out, satisfiability checks, pruned-unsat
+// count, wall time).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"cdb/internal/cqa"
 	"cdb/internal/datagen"
+	"cdb/internal/exec"
 	"cdb/internal/experiments"
+	"cdb/internal/rational"
+	"cdb/internal/relation"
 )
 
 func main() {
@@ -40,12 +53,18 @@ func run(args []string) error {
 	buckets := fs.Int("buckets", 8, "buckets per rendered series")
 	seed := fs.Int64("seed", 0, "override the workload seed (0 = default)")
 	verify := fs.Bool("verify", false, "verify the paper's qualitative claims against the measurements")
+	par := fs.Int("par", 0, "cqa experiment: worker-pool size (0 = GOMAXPROCS)")
+	cqaSize := fs.Int("cqasize", 48, "cqa experiment: tuples per input relation")
+	stats := fs.Bool("stats", false, "cqa experiment: print the per-operator execution table")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	p := datagen.Scaled(*scale)
 	if *seed != 0 {
 		p.Seed = *seed
+	}
+	if *expt == "cqa" {
+		return runCQA(p, *par, *cqaSize, *stats)
 	}
 	fmt.Printf("workload: %d boxes, %d queries, coords [0,%g], sizes [%g,%g], seed %d, page %d bytes\n\n",
 		p.NumData, p.NumQueries, p.CoordMax, p.SizeMin, p.SizeMax, p.Seed, *page)
@@ -106,6 +125,68 @@ func run(args []string) error {
 			}
 			return fmt.Errorf("%d shape violations", len(bad))
 		}
+	}
+	return nil
+}
+
+// runCQA times the parallelised CQA operators over workload-derived
+// constraint relations, sequentially and under the worker pool, and
+// reports the speedup. Parallel output is byte-identical to sequential
+// output (checked here on every run), so the timings compare equal work.
+func runCQA(p datagen.Params, par, size int, stats bool) error {
+	ecSeq := exec.New(1)
+	ecPar := exec.New(par)
+	ecPar.SeqThreshold = 1
+	r1 := datagen.BoxRelation(p, size, 0)
+	p2 := p
+	p2.Seed = p.Seed + 1000
+	r2 := datagen.BoxRelation(p2, size, 0)
+	// A cross-product-style second input: no shared relational attribute,
+	// so every tuple pair reaches the satisfiability check.
+	r2x, err := cqa.Rename(r2, "id", "id2")
+	if err != nil {
+		return err
+	}
+	cond := cqa.Condition{
+		cqa.AttrCmpConst("x", cqa.OpLe, rational.FromInt(1500)),
+		cqa.AttrCmpConst("y", cqa.OpNe, rational.FromInt(700)),
+	}
+	fmt.Printf("cqa operators: %d tuples per side (%d pairs), %d workers vs sequential\n\n",
+		size, size*size, ecPar.Workers())
+	type op struct {
+		name string
+		run  func(ec *exec.Context) (*relation.Relation, error)
+	}
+	ops := []op{
+		{"join", func(ec *exec.Context) (*relation.Relation, error) { return cqa.JoinCtx(ec, r1, r2x) }},
+		{"select", func(ec *exec.Context) (*relation.Relation, error) { return cqa.SelectCtx(ec, r1, cond) }},
+		{"intersect", func(ec *exec.Context) (*relation.Relation, error) { return cqa.IntersectCtx(ec, r1, r2) }},
+		{"difference", func(ec *exec.Context) (*relation.Relation, error) { return cqa.DifferenceCtx(ec, r1, r2) }},
+	}
+	fmt.Printf("%-12s %12s %12s %8s\n", "operator", "sequential", "parallel", "speedup")
+	for _, o := range ops {
+		t0 := time.Now()
+		seqOut, err := o.run(ecSeq)
+		if err != nil {
+			return fmt.Errorf("%s sequential: %w", o.name, err)
+		}
+		seqWall := time.Since(t0)
+		t0 = time.Now()
+		parOut, err := o.run(ecPar)
+		if err != nil {
+			return fmt.Errorf("%s parallel: %w", o.name, err)
+		}
+		parWall := time.Since(t0)
+		if seqOut.String() != parOut.String() {
+			return fmt.Errorf("%s: parallel output diverges from sequential", o.name)
+		}
+		fmt.Printf("%-12s %12s %12s %7.2fx\n", o.name,
+			seqWall.Round(time.Microsecond), parWall.Round(time.Microsecond),
+			float64(seqWall)/float64(parWall))
+	}
+	if stats {
+		fmt.Println("\nparallel run, per-operator stats:")
+		fmt.Print(exec.FormatStats(ecPar.Summary()))
 	}
 	return nil
 }

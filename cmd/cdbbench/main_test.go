@@ -27,3 +27,10 @@ func TestRunErrors(t *testing.T) {
 		t.Error("bad flag accepted")
 	}
 }
+
+func TestRunCQAExperiment(t *testing.T) {
+	// Small input; also verifies parallel output == sequential output.
+	if err := run([]string{"-expt", "cqa", "-par", "4", "-cqasize", "16", "-stats"}); err != nil {
+		t.Fatal(err)
+	}
+}

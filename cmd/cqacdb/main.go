@@ -8,6 +8,14 @@
 //	cqacdb -demo hurricane                  # interactive shell on the case study
 //	cqacdb -db parcels.cqa script.cqa       # run a script
 //	cqacdb -db parcels.cqa -e 'R = select x >= 5 from Land'
+//	cqacdb -par 8 -stats -e '...'           # 8 workers + per-operator stats
+//
+// Queries execute on the parallel CQA layer (package exec): -par sets the
+// worker-pool size (0 = GOMAXPROCS, 1 = sequential), -par-threshold the
+// input size below which operators stay sequential, and -stats prints a
+// per-operator execution table (tuples in/out, satisfiability checks,
+// pruned-unsat count, wall time) after each program. Parallel output is
+// byte-identical to sequential output.
 //
 // Interactive commands (besides query statements "Name = ..."):
 //
@@ -29,6 +37,7 @@ import (
 
 	"cdb/internal/calculus"
 	"cdb/internal/db"
+	"cdb/internal/exec"
 	"cdb/internal/hurricane"
 	"cdb/internal/query"
 	"cdb/internal/relation"
@@ -50,9 +59,14 @@ func run(args []string) error {
 	expr := fs.String("e", "", "execute one query program and print the result")
 	rules := fs.String("rules", "", "execute one declarative rule program (calculus front end)")
 	maxRows := fs.Int("rows", 50, "maximum tuples to print per relation")
+	par := fs.Int("par", 0, "CQA worker-pool size (0 = GOMAXPROCS, 1 = sequential)")
+	parThreshold := fs.Int("par-threshold", 0, "input size below which operators run sequentially (0 = default)")
+	stats := fs.Bool("stats", false, "print per-operator execution stats after each program")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	ec := exec.New(*par)
+	ec.SeqThreshold = *parThreshold
 
 	var d *db.Database
 	switch {
@@ -73,11 +87,12 @@ func run(args []string) error {
 	}
 
 	if *expr != "" {
-		out, err := d.Run(*expr)
+		out, err := d.RunCtx(*expr, ec)
 		if err != nil {
 			return err
 		}
 		printRelation(out, *maxRows)
+		printStats(os.Stdout, ec, *stats)
 		return nil
 	}
 	if *rules != "" {
@@ -85,11 +100,12 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		out, err := prog.Run(d.Env())
+		out, err := prog.RunCtx(d.Env(), ec)
 		if err != nil {
 			return err
 		}
 		printRelation(out, *maxRows)
+		printStats(os.Stdout, ec, *stats)
 		return nil
 	}
 	if fs.NArg() > 0 {
@@ -98,19 +114,30 @@ func run(args []string) error {
 			if err != nil {
 				return err
 			}
-			out, err := d.Run(string(src))
+			out, err := d.RunCtx(string(src), ec)
 			if err != nil {
 				return fmt.Errorf("%s: %w", path, err)
 			}
 			fmt.Printf("== %s ==\n", path)
 			printRelation(out, *maxRows)
+			printStats(os.Stdout, ec, *stats)
 		}
 		return nil
 	}
-	return repl(d, *maxRows, os.Stdin, os.Stdout)
+	return repl(d, *maxRows, ec, *stats, os.Stdin, os.Stdout)
 }
 
-func repl(d *db.Database, maxRows int, in io.Reader, out io.Writer) error {
+// printStats renders and clears the context's per-operator records when
+// enabled; the context keeps accumulating otherwise-silently ignored
+// records if the flag is off, so it is reset either way.
+func printStats(w io.Writer, ec *exec.Context, enabled bool) {
+	if enabled {
+		fmt.Fprint(w, exec.FormatStats(ec.Summary()))
+	}
+	ec.Reset()
+}
+
+func repl(d *db.Database, maxRows int, ec *exec.Context, stats bool, in io.Reader, out io.Writer) error {
 	fmt.Fprintln(out, "CQA/CDB shell. Statements: Name = select ... | \\list \\show R \\schema R \\save PATH \\quit")
 	sc := bufio.NewScanner(in)
 	for {
@@ -185,7 +212,7 @@ func repl(d *db.Database, maxRows int, in io.Reader, out io.Writer) error {
 				fmt.Fprintln(out, err)
 				continue
 			}
-			res, err := prog.RunOptimized(d.Env())
+			res, err := prog.RunOptimizedCtx(d.Env(), ec)
 			if err != nil {
 				fmt.Fprintln(out, err)
 				continue
@@ -200,6 +227,7 @@ func repl(d *db.Database, maxRows int, in io.Reader, out io.Writer) error {
 			last := prog.Stmts[len(prog.Stmts)-1].Target
 			_ = d.Put(last, res)
 			fprintRelation(out, res, maxRows)
+			printStats(out, ec, stats)
 		}
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"cdb/internal/db"
+	"cdb/internal/exec"
 	"cdb/internal/hurricane"
 )
 
@@ -67,7 +68,7 @@ func TestREPLSession(t *testing.T) {
 		`\quit`,
 	}, "\n"))
 	var out bytes.Buffer
-	if err := repl(d, 10, in, &out); err != nil {
+	if err := repl(d, 10, nil, false, in, &out); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
@@ -93,7 +94,7 @@ func TestREPLSession(t *testing.T) {
 	}
 	// EOF without \quit is a clean exit.
 	var out2 bytes.Buffer
-	if err := repl(d, 10, strings.NewReader("\\list\n"), &out2); err != nil {
+	if err := repl(d, 10, nil, false, strings.NewReader("\\list\n"), &out2); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -109,7 +110,7 @@ func TestREPLSvgCommand(t *testing.T) {
 		`\quit`,
 	}, "\n"))
 	var out bytes.Buffer
-	if err := repl(d, 10, in, &out); err != nil {
+	if err := repl(d, 10, nil, false, in, &out); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(svgPath)
@@ -124,5 +125,41 @@ func TestREPLSvgCommand(t *testing.T) {
 		if !strings.Contains(got, want) {
 			t.Errorf("output missing %q:\n%s", want, got)
 		}
+	}
+}
+
+func TestRunParallelAndStatsFlags(t *testing.T) {
+	// -par/-stats must not change results or fail; stats go to stdout.
+	for _, args := range [][]string{
+		{"-demo", "hurricane", "-par", "4", "-stats", "-e",
+			"R = join Landownership and Land"},
+		{"-demo", "hurricane", "-par", "1", "-par-threshold", "1", "-e",
+			"R = select landId = A from Landownership"},
+		{"-demo", "hurricane", "-par", "2", "-stats", "-rules",
+			`owned(name, t) :- Landownership(name, t, id), id = "A".`},
+	} {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+}
+
+func TestREPLStats(t *testing.T) {
+	d := hurricane.Build()
+	ec := exec.New(4)
+	ec.SeqThreshold = 1
+	in := strings.NewReader("R0 = join Landownership and Land\n\\quit\n")
+	var out bytes.Buffer
+	if err := repl(d, 10, ec, true, in, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"operator", "join", "sat-checks"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("repl -stats output missing %q:\n%s", want, got)
+		}
+	}
+	if len(ec.Stats()) != 0 {
+		t.Error("stats not reset after printing")
 	}
 }

@@ -30,6 +30,7 @@ import (
 
 	"cdb/internal/constraint"
 	"cdb/internal/cqa"
+	"cdb/internal/exec"
 	"cdb/internal/rational"
 	"cdb/internal/relation"
 	"cdb/internal/schema"
@@ -244,6 +245,13 @@ func cqaExprFromLinear(c CompAtom, rep map[string]string) *constraint.Expr {
 // Run evaluates the program: rules execute in order; rules with the same
 // head name union; the final head's relation is returned.
 func (p *Program) Run(env cqa.Env) (*relation.Relation, error) {
+	return p.RunCtx(env, nil)
+}
+
+// RunCtx is Run under an execution context: the translated CQA plans fan
+// their operator work out over ec's worker pool and record per-operator
+// stats on ec. A nil ec is Run.
+func (p *Program) RunCtx(env cqa.Env, ec *exec.Context) (*relation.Relation, error) {
 	if len(p.Rules) == 0 {
 		return nil, fmt.Errorf("calculus: empty program")
 	}
@@ -265,12 +273,12 @@ func (p *Program) Run(env cqa.Env) (*relation.Relation, error) {
 			return nil, err
 		}
 		plan = cqa.Optimize(plan, scratch.Schemas())
-		out, err := plan.Eval(scratch)
+		out, err := plan.EvalCtx(scratch, ec)
 		if err != nil {
 			return nil, fmt.Errorf("calculus: line %d: %w", r.Line, err)
 		}
 		if defined[r.HeadName] {
-			merged, err := cqa.Union(scratch[r.HeadName], out)
+			merged, err := cqa.UnionCtx(ec, scratch[r.HeadName], out)
 			if err != nil {
 				return nil, fmt.Errorf("calculus: line %d: rules for %q have incompatible heads: %w", r.Line, r.HeadName, err)
 			}

@@ -1,5 +1,7 @@
 // Package constraint implements the rational linear constraint engine that
-// underlies CQA/CDB.
+// underlies CQA/CDB — the §2.2 choice of rational linear constraints as the
+// constraint class, and the decision procedures that make the §2.5 closure
+// principle effective for every algebra operator.
 //
 // The package provides:
 //

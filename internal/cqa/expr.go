@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"cdb/internal/exec"
 	"cdb/internal/relation"
 	"cdb/internal/schema"
 )
@@ -14,8 +15,12 @@ import (
 // named relations.
 type Node interface {
 	fmt.Stringer
-	// Eval evaluates the subtree against the environment.
+	// Eval evaluates the subtree against the environment, sequentially.
 	Eval(env Env) (*relation.Relation, error)
+	// EvalCtx evaluates the subtree under an execution context: operators
+	// fan their satisfiability work out over ec's worker pool and record
+	// per-operator stats on ec. A nil ec is Eval.
+	EvalCtx(env Env, ec *exec.Context) (*relation.Relation, error)
 	// OutSchema computes the result schema without evaluating.
 	OutSchema(env SchemaEnv) (schema.Schema, error)
 }
@@ -41,7 +46,9 @@ type ScanNode struct{ Name string }
 // Scan returns a node reading the named relation.
 func Scan(name string) *ScanNode { return &ScanNode{Name: name} }
 
-func (n *ScanNode) Eval(env Env) (*relation.Relation, error) {
+func (n *ScanNode) Eval(env Env) (*relation.Relation, error) { return n.EvalCtx(env, nil) }
+
+func (n *ScanNode) EvalCtx(env Env, ec *exec.Context) (*relation.Relation, error) {
 	r, ok := env[n.Name]
 	if !ok {
 		return nil, fmt.Errorf("cqa: unknown relation %q", n.Name)
@@ -70,12 +77,14 @@ func NewSelect(in Node, cond Condition) *SelectNode {
 	return &SelectNode{Input: in, Cond: cond}
 }
 
-func (n *SelectNode) Eval(env Env) (*relation.Relation, error) {
-	in, err := n.Input.Eval(env)
+func (n *SelectNode) Eval(env Env) (*relation.Relation, error) { return n.EvalCtx(env, nil) }
+
+func (n *SelectNode) EvalCtx(env Env, ec *exec.Context) (*relation.Relation, error) {
+	in, err := n.Input.EvalCtx(env, ec)
 	if err != nil {
 		return nil, err
 	}
-	return Select(in, n.Cond)
+	return SelectCtx(ec, in, n.Cond)
 }
 
 func (n *SelectNode) OutSchema(env SchemaEnv) (schema.Schema, error) {
@@ -104,12 +113,14 @@ func NewProject(in Node, cols ...string) *ProjectNode {
 	return &ProjectNode{Input: in, Cols: cols}
 }
 
-func (n *ProjectNode) Eval(env Env) (*relation.Relation, error) {
-	in, err := n.Input.Eval(env)
+func (n *ProjectNode) Eval(env Env) (*relation.Relation, error) { return n.EvalCtx(env, nil) }
+
+func (n *ProjectNode) EvalCtx(env Env, ec *exec.Context) (*relation.Relation, error) {
+	in, err := n.Input.EvalCtx(env, ec)
 	if err != nil {
 		return nil, err
 	}
-	return Project(in, n.Cols...)
+	return ProjectCtx(ec, in, n.Cols...)
 }
 
 func (n *ProjectNode) OutSchema(env SchemaEnv) (schema.Schema, error) {
@@ -130,16 +141,18 @@ type JoinNode struct{ Left, Right Node }
 // NewJoin returns a natural-join node.
 func NewJoin(l, r Node) *JoinNode { return &JoinNode{Left: l, Right: r} }
 
-func (n *JoinNode) Eval(env Env) (*relation.Relation, error) {
-	l, err := n.Left.Eval(env)
+func (n *JoinNode) Eval(env Env) (*relation.Relation, error) { return n.EvalCtx(env, nil) }
+
+func (n *JoinNode) EvalCtx(env Env, ec *exec.Context) (*relation.Relation, error) {
+	l, err := n.Left.EvalCtx(env, ec)
 	if err != nil {
 		return nil, err
 	}
-	r, err := n.Right.Eval(env)
+	r, err := n.Right.EvalCtx(env, ec)
 	if err != nil {
 		return nil, err
 	}
-	return Join(l, r)
+	return JoinCtx(ec, l, r)
 }
 
 func (n *JoinNode) OutSchema(env SchemaEnv) (schema.Schema, error) {
@@ -164,16 +177,18 @@ type UnionNode struct{ Left, Right Node }
 // NewUnion returns a union node.
 func NewUnion(l, r Node) *UnionNode { return &UnionNode{Left: l, Right: r} }
 
-func (n *UnionNode) Eval(env Env) (*relation.Relation, error) {
-	l, err := n.Left.Eval(env)
+func (n *UnionNode) Eval(env Env) (*relation.Relation, error) { return n.EvalCtx(env, nil) }
+
+func (n *UnionNode) EvalCtx(env Env, ec *exec.Context) (*relation.Relation, error) {
+	l, err := n.Left.EvalCtx(env, ec)
 	if err != nil {
 		return nil, err
 	}
-	r, err := n.Right.Eval(env)
+	r, err := n.Right.EvalCtx(env, ec)
 	if err != nil {
 		return nil, err
 	}
-	return Union(l, r)
+	return UnionCtx(ec, l, r)
 }
 
 func (n *UnionNode) OutSchema(env SchemaEnv) (schema.Schema, error) {
@@ -201,16 +216,18 @@ type DiffNode struct{ Left, Right Node }
 // NewDiff returns a difference node.
 func NewDiff(l, r Node) *DiffNode { return &DiffNode{Left: l, Right: r} }
 
-func (n *DiffNode) Eval(env Env) (*relation.Relation, error) {
-	l, err := n.Left.Eval(env)
+func (n *DiffNode) Eval(env Env) (*relation.Relation, error) { return n.EvalCtx(env, nil) }
+
+func (n *DiffNode) EvalCtx(env Env, ec *exec.Context) (*relation.Relation, error) {
+	l, err := n.Left.EvalCtx(env, ec)
 	if err != nil {
 		return nil, err
 	}
-	r, err := n.Right.Eval(env)
+	r, err := n.Right.EvalCtx(env, ec)
 	if err != nil {
 		return nil, err
 	}
-	return Difference(l, r)
+	return DifferenceCtx(ec, l, r)
 }
 
 func (n *DiffNode) OutSchema(env SchemaEnv) (schema.Schema, error) {
@@ -243,12 +260,14 @@ func NewRename(in Node, old, new string) *RenameNode {
 	return &RenameNode{Input: in, Old: old, New: new}
 }
 
-func (n *RenameNode) Eval(env Env) (*relation.Relation, error) {
-	in, err := n.Input.Eval(env)
+func (n *RenameNode) Eval(env Env) (*relation.Relation, error) { return n.EvalCtx(env, nil) }
+
+func (n *RenameNode) EvalCtx(env Env, ec *exec.Context) (*relation.Relation, error) {
+	in, err := n.Input.EvalCtx(env, ec)
 	if err != nil {
 		return nil, err
 	}
-	return Rename(in, n.Old, n.New)
+	return RenameCtx(ec, in, n.Old, n.New)
 }
 
 func (n *RenameNode) OutSchema(env SchemaEnv) (schema.Schema, error) {

@@ -4,9 +4,18 @@ import (
 	"fmt"
 
 	"cdb/internal/constraint"
+	"cdb/internal/exec"
 	"cdb/internal/relation"
 	"cdb/internal/schema"
 )
+
+// The operators come in pairs: Op(args) is the sequential convenience
+// form and OpCtx(ec, args) the form that takes an execution context.
+// OpCtx fans the per-tuple (Select, Project, Difference) or per-tuple-
+// pair (Join, Intersect) satisfiability work out over ec's worker pool
+// and records per-operator statistics on ec; results are merged in input
+// index order, so the output is byte-identical to the sequential path.
+// A nil context is valid and means sequential execution with no stats.
 
 // Select returns ς_cond(r): the tuples of r restricted to the condition.
 // Per the heterogeneous semantics, conditions over constraint attributes
@@ -15,16 +24,23 @@ import (
 // constraint attributes may split a tuple in two, so the output can have
 // more tuples than the input (but never more points).
 func Select(r *relation.Relation, cond Condition) (*relation.Relation, error) {
+	return SelectCtx(nil, r, cond)
+}
+
+// SelectCtx is Select under an execution context: the per-tuple condition
+// evaluation fans out over ec's worker pool.
+func SelectCtx(ec *exec.Context, r *relation.Relation, cond Condition) (*relation.Relation, error) {
 	if err := cond.Validate(r.Schema()); err != nil {
 		return nil, err
 	}
-	out := relation.New(r.Schema())
-	for _, t := range r.Tuples() {
-		variants := []relation.Tuple{t}
+	rec := ec.StartOp("select", r.Len())
+	tuples := r.Tuples()
+	variantLists, err := exec.Map(ec, len(tuples), func(i int) ([]relation.Tuple, error) {
+		variants := []relation.Tuple{tuples[i]}
 		for _, a := range cond {
 			var next []relation.Tuple
 			for _, v := range variants {
-				res, err := evalAtom(a, r.Schema(), v)
+				res, err := evalAtom(a, r.Schema(), v, rec)
 				if err != nil {
 					return nil, err
 				}
@@ -35,12 +51,21 @@ func Select(r *relation.Relation, cond Condition) (*relation.Relation, error) {
 				break
 			}
 		}
+		return variants, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := relation.New(r.Schema())
+	for _, variants := range variantLists {
 		for _, v := range variants {
 			if err := out.Add(v); err != nil {
 				return nil, err
 			}
 		}
 	}
+	rec.AddOut(out.Len())
+	rec.Done(ec.ParallelFor(len(tuples)))
 	return out, nil
 }
 
@@ -50,6 +75,12 @@ func Select(r *relation.Relation, cond Condition) (*relation.Relation, error) {
 // are dropped. Tuples whose projected constraint part is unsatisfiable are
 // removed.
 func Project(r *relation.Relation, cols ...string) (*relation.Relation, error) {
+	return ProjectCtx(nil, r, cols...)
+}
+
+// ProjectCtx is Project under an execution context: the per-tuple
+// Fourier-Motzkin eliminations fan out over ec's worker pool.
+func ProjectCtx(ec *exec.Context, r *relation.Relation, cols ...string) (*relation.Relation, error) {
 	ps, err := r.Schema().Project(cols...)
 	if err != nil {
 		return nil, err
@@ -64,11 +95,15 @@ func Project(r *relation.Relation, cols ...string) (*relation.Relation, error) {
 			dropCon = append(dropCon, name)
 		}
 	}
-	out := relation.New(ps)
-	for _, t := range r.Tuples() {
+	rec := ec.StartOp("project", r.Len())
+	tuples := r.Tuples()
+	results, err := exec.Map(ec, len(tuples), func(i int) (*relation.Tuple, error) {
+		t := tuples[i]
 		con := t.Constraint().Eliminate(dropCon...)
-		if !con.IsSatisfiable() {
-			continue
+		sat := con.IsSatisfiable()
+		rec.SatCheck(sat)
+		if !sat {
+			return nil, nil
 		}
 		rvals := map[string]relation.Value{}
 		for name, v := range t.RVals() {
@@ -76,10 +111,23 @@ func Project(r *relation.Relation, cols ...string) (*relation.Relation, error) {
 				rvals[name] = v
 			}
 		}
-		if err := out.Add(relation.NewTuple(rvals, con)); err != nil {
+		nt := relation.NewTuple(rvals, con)
+		return &nt, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := relation.New(ps)
+	for _, t := range results {
+		if t == nil {
+			continue
+		}
+		if err := out.Add(*t); err != nil {
 			return nil, err
 		}
 	}
+	rec.AddOut(out.Len())
+	rec.Done(ec.ParallelFor(len(tuples)))
 	return out, nil
 }
 
@@ -101,6 +149,18 @@ func Project(r *relation.Relation, cols ...string) (*relation.Relation, error) {
 // Cross-product and intersection are the special cases with disjoint and
 // identical schemas respectively (paper §2.4, remark under Natural-Join).
 func Join(r1, r2 *relation.Relation) (*relation.Relation, error) {
+	return JoinCtx(nil, r1, r2)
+}
+
+// JoinCtx is Join under an execution context: the tuple-pair merge and
+// satisfiability checks fan out over ec's worker pool, indexed by the
+// flattened (t1, t2) pair so output order matches the sequential
+// nested-loop order exactly.
+func JoinCtx(ec *exec.Context, r1, r2 *relation.Relation) (*relation.Relation, error) {
+	return joinCtx(ec, "join", r1, r2)
+}
+
+func joinCtx(ec *exec.Context, op string, r1, r2 *relation.Relation) (*relation.Relation, error) {
 	js, err := r1.Schema().Join(r2.Schema())
 	if err != nil {
 		return nil, err
@@ -111,52 +171,79 @@ func Join(r1, r2 *relation.Relation) (*relation.Relation, error) {
 			sharedRel = append(sharedRel, a.Name)
 		}
 	}
-	out := relation.New(js)
-	for _, t1 := range r1.Tuples() {
-		for _, t2 := range r2.Tuples() {
-			match := true
-			for _, name := range sharedRel {
-				v1, _ := t1.RVal(name) // NULL when unbound
-				v2, _ := t2.RVal(name)
-				if !v1.Identical(v2) {
-					match = false
-					break
-				}
-			}
-			if !match {
-				continue
-			}
-			con := t1.Constraint().Merge(t2.Constraint())
-			if !con.IsSatisfiable() {
-				continue
-			}
-			rvals := t1.RVals()
-			for name, v := range t2.RVals() {
-				rvals[name] = v
-			}
-			if err := out.Add(relation.NewTuple(rvals, con)); err != nil {
-				return nil, err
+	t1s, t2s := r1.Tuples(), r2.Tuples()
+	rec := ec.StartOp(op, len(t1s)+len(t2s))
+	pairs := 0
+	if len(t2s) > 0 {
+		pairs = len(t1s) * len(t2s)
+	}
+	results, err := exec.Map(ec, pairs, func(i int) (*relation.Tuple, error) {
+		t1, t2 := t1s[i/len(t2s)], t2s[i%len(t2s)]
+		for _, name := range sharedRel {
+			v1, _ := t1.RVal(name) // NULL when unbound
+			v2, _ := t2.RVal(name)
+			if !v1.Identical(v2) {
+				return nil, nil
 			}
 		}
+		con := t1.Constraint().Merge(t2.Constraint())
+		sat := con.IsSatisfiable()
+		rec.SatCheck(sat)
+		if !sat {
+			return nil, nil
+		}
+		rvals := t1.RVals()
+		for name, v := range t2.RVals() {
+			rvals[name] = v
+		}
+		nt := relation.NewTuple(rvals, con)
+		return &nt, nil
+	})
+	if err != nil {
+		return nil, err
 	}
+	out := relation.New(js)
+	for _, t := range results {
+		if t == nil {
+			continue
+		}
+		if err := out.Add(*t); err != nil {
+			return nil, err
+		}
+	}
+	rec.AddOut(out.Len())
+	rec.Done(ec.ParallelFor(pairs))
 	return out, nil
 }
 
 // Intersect returns r1 ∩ r2. It requires equal schemas and is implemented
 // as the natural join (of which it is the special case).
 func Intersect(r1, r2 *relation.Relation) (*relation.Relation, error) {
+	return IntersectCtx(nil, r1, r2)
+}
+
+// IntersectCtx is Intersect under an execution context (see JoinCtx).
+func IntersectCtx(ec *exec.Context, r1, r2 *relation.Relation) (*relation.Relation, error) {
 	if !r1.Schema().Equal(r2.Schema()) {
 		return nil, fmt.Errorf("cqa: intersect requires equal schemas: %s vs %s", r1.Schema(), r2.Schema())
 	}
-	return Join(r1, r2)
+	return joinCtx(ec, "intersect", r1, r2)
 }
 
 // Union returns r1 ∪ r2. The schemas must be equal (as attribute sets with
 // matching types and kinds).
 func Union(r1, r2 *relation.Relation) (*relation.Relation, error) {
+	return UnionCtx(nil, r1, r2)
+}
+
+// UnionCtx is Union under an execution context. Union does no per-tuple
+// satisfiability work, so it always runs sequentially; the context only
+// records its stats.
+func UnionCtx(ec *exec.Context, r1, r2 *relation.Relation) (*relation.Relation, error) {
 	if !r1.Schema().Equal(r2.Schema()) {
 		return nil, fmt.Errorf("cqa: union requires equal schemas: %s vs %s", r1.Schema(), r2.Schema())
 	}
+	rec := ec.StartOp("union", r1.Len()+r2.Len())
 	out := relation.New(r1.Schema())
 	for _, t := range r1.Tuples() {
 		if err := out.Add(t); err != nil {
@@ -168,16 +255,27 @@ func Union(r1, r2 *relation.Relation) (*relation.Relation, error) {
 			return nil, err
 		}
 	}
-	return out.Normalize(), nil
+	norm := out.Normalize()
+	rec.AddOut(norm.Len())
+	rec.Done(false)
+	return norm, nil
 }
 
 // Rename returns ϱ_{new|old}(r): attribute old renamed to new in the
 // schema, the relational bindings, and the constraint variables.
 func Rename(r *relation.Relation, old, new string) (*relation.Relation, error) {
+	return RenameCtx(nil, r, old, new)
+}
+
+// RenameCtx is Rename under an execution context. Renaming is pure
+// bookkeeping, so it always runs sequentially; the context only records
+// its stats.
+func RenameCtx(ec *exec.Context, r *relation.Relation, old, new string) (*relation.Relation, error) {
 	rs, err := r.Schema().Rename(old, new)
 	if err != nil {
 		return nil, err
 	}
+	rec := ec.StartOp("rename", r.Len())
 	out := relation.New(rs)
 	for _, t := range r.Tuples() {
 		rvals := map[string]relation.Value{}
@@ -192,6 +290,8 @@ func Rename(r *relation.Relation, old, new string) (*relation.Relation, error) {
 			return nil, err
 		}
 	}
+	rec.AddOut(out.Len())
+	rec.Done(false)
 	return out, nil
 }
 
@@ -205,26 +305,50 @@ func Rename(r *relation.Relation, old, new string) (*relation.Relation, error) {
 // work: the complement of a conjunction of linear constraints expands into
 // finitely many linear constraint tuples).
 func Difference(r1, r2 *relation.Relation) (*relation.Relation, error) {
+	return DifferenceCtx(nil, r1, r2)
+}
+
+// DifferenceCtx is Difference under an execution context: the per-tuple
+// complement expansions (the heaviest CQA work) fan out over ec's worker
+// pool.
+func DifferenceCtx(ec *exec.Context, r1, r2 *relation.Relation) (*relation.Relation, error) {
 	if !r1.Schema().Equal(r2.Schema()) {
 		return nil, fmt.Errorf("cqa: difference requires equal schemas: %s vs %s", r1.Schema(), r2.Schema())
 	}
-	out := relation.New(r1.Schema())
-	for _, t1 := range r1.Tuples() {
+	t1s, t2s := r1.Tuples(), r2.Tuples()
+	rec := ec.StartOp("difference", len(t1s)+len(t2s))
+	rows, err := exec.Map(ec, len(t1s), func(i int) ([]relation.Tuple, error) {
+		t1 := t1s[i]
 		var subtrahends []constraint.Conjunction
-		for _, t2 := range r2.Tuples() {
+		for _, t2 := range t2s {
 			if t1.SameRelationalPart(t2) {
 				subtrahends = append(subtrahends, t2.Constraint())
 			}
 		}
 		pieces := constraint.SubtractAll(t1.Constraint(), subtrahends)
+		var keepPieces []relation.Tuple
 		for _, con := range pieces {
-			if !con.IsSatisfiable() {
+			sat := con.IsSatisfiable()
+			rec.SatCheck(sat)
+			if !sat {
 				continue
 			}
-			if err := out.Add(relation.NewTuple(t1.RVals(), con)); err != nil {
+			keepPieces = append(keepPieces, relation.NewTuple(t1.RVals(), con))
+		}
+		return keepPieces, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := relation.New(r1.Schema())
+	for _, pieces := range rows {
+		for _, t := range pieces {
+			if err := out.Add(t); err != nil {
 				return nil, err
 			}
 		}
 	}
+	rec.AddOut(out.Len())
+	rec.Done(ec.ParallelFor(len(t1s)))
 	return out, nil
 }

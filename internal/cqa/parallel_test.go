@@ -1,0 +1,225 @@
+package cqa
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+
+	"cdb/internal/datagen"
+	"cdb/internal/exec"
+	"cdb/internal/rational"
+	"cdb/internal/relation"
+)
+
+// dump renders a relation's tuples in storage order (not sorted), so two
+// equal dumps mean byte-identical output including tuple order — the
+// determinism guarantee of the parallel execution layer.
+func dump(r *relation.Relation) string {
+	var b strings.Builder
+	b.WriteString(r.Schema().String())
+	for _, t := range r.Tuples() {
+		b.WriteString("\n")
+		b.WriteString(t.String())
+	}
+	return b.String()
+}
+
+// parContexts returns the execution contexts the equivalence tests
+// exercise: parallelism 1, 4 and GOMAXPROCS, each with SeqThreshold 1 so
+// even small inputs actually reach the worker pool.
+func parContexts() map[string]*exec.Context {
+	return map[string]*exec.Context{
+		"par1":       {Parallelism: 1, SeqThreshold: 1},
+		"par4":       {Parallelism: 4, SeqThreshold: 1},
+		"gomaxprocs": {Parallelism: runtime.GOMAXPROCS(0), SeqThreshold: 1},
+	}
+}
+
+func parInputs(t *testing.T, seed int64, n1, n2, idMod int) (*relation.Relation, *relation.Relation) {
+	t.Helper()
+	p := datagen.Scaled(10)
+	p.Seed = seed
+	r1 := datagen.BoxRelation(p, n1, idMod)
+	p.Seed = seed + 1000
+	r2 := datagen.BoxRelation(p, n2, idMod)
+	if r1.Len() != n1 || r2.Len() != n2 {
+		t.Fatalf("bad fixture sizes: %d, %d", r1.Len(), r2.Len())
+	}
+	return r1, r2
+}
+
+// TestParallelEquivalence asserts that every parallelised operator
+// produces byte-identical output (same tuples, same order) at parallelism
+// 1, 4 and GOMAXPROCS as the sequential path, on randomized workload
+// relations.
+func TestParallelEquivalence(t *testing.T) {
+	cond := Condition{
+		AttrCmpConst("x", OpLe, rational.FromInt(1500)),
+		AttrCmpConst("y", OpNe, rational.FromInt(700)), // != splits tuples
+		StrNe("id", "b3"),
+	}
+	for _, seed := range []int64{1, 42, 2003} {
+		r1, r2 := parInputs(t, seed, 48, 40, 5)
+		ops := map[string]func(*exec.Context) (*relation.Relation, error){
+			"select":     func(ec *exec.Context) (*relation.Relation, error) { return SelectCtx(ec, r1, cond) },
+			"project":    func(ec *exec.Context) (*relation.Relation, error) { return ProjectCtx(ec, r1, "id", "x") },
+			"join":       func(ec *exec.Context) (*relation.Relation, error) { return JoinCtx(ec, r1, r2) },
+			"intersect":  func(ec *exec.Context) (*relation.Relation, error) { return IntersectCtx(ec, r1, r2) },
+			"difference": func(ec *exec.Context) (*relation.Relation, error) { return DifferenceCtx(ec, r1, r2) },
+		}
+		for name, op := range ops {
+			want, err := op(nil) // sequential baseline
+			if err != nil {
+				t.Fatalf("seed %d %s sequential: %v", seed, name, err)
+			}
+			wantDump := dump(want)
+			for ctxName, ec := range parContexts() {
+				got, err := op(ec)
+				if err != nil {
+					t.Fatalf("seed %d %s %s: %v", seed, name, ctxName, err)
+				}
+				if d := dump(got); d != wantDump {
+					t.Errorf("seed %d: %s at %s diverges from sequential output\nsequential:\n%s\nparallel:\n%s",
+						seed, name, ctxName, wantDump, d)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelEquivalenceCrossProduct exercises the join path with no
+// shared relational attributes (every tuple pair reaches the
+// satisfiability check).
+func TestParallelEquivalenceCrossProduct(t *testing.T) {
+	r1, r2 := parInputs(t, 7, 30, 30, 0)
+	r2b, err := Rename(r2, "id", "id2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Join(r1, r2b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ctxName, ec := range parContexts() {
+		got, err := JoinCtx(ec, r1, r2b)
+		if err != nil {
+			t.Fatalf("%s: %v", ctxName, err)
+		}
+		if dump(got) != dump(want) {
+			t.Errorf("cross-product join at %s diverges from sequential output", ctxName)
+		}
+	}
+}
+
+// TestParallelEquivalenceEmpty checks the empty-input edge cases.
+func TestParallelEquivalenceEmpty(t *testing.T) {
+	r1, _ := parInputs(t, 5, 20, 1, 0)
+	empty := relation.New(r1.Schema())
+	ec := &exec.Context{Parallelism: 4, SeqThreshold: 1}
+	for name, pair := range map[string][2]*relation.Relation{
+		"left-empty":  {empty, r1},
+		"right-empty": {r1, empty},
+		"both-empty":  {empty, empty},
+	} {
+		want, err := Join(pair[0], pair[1])
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got, err := JoinCtx(ec, pair[0], pair[1])
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if dump(got) != dump(want) {
+			t.Errorf("%s: parallel join diverges", name)
+		}
+		wantD, err := Difference(pair[0], pair[1])
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		gotD, err := DifferenceCtx(ec, pair[0], pair[1])
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if dump(gotD) != dump(wantD) {
+			t.Errorf("%s: parallel difference diverges", name)
+		}
+	}
+}
+
+// TestOperatorStats checks the per-operator statistics recorded on the
+// execution context.
+func TestOperatorStats(t *testing.T) {
+	r1, r2 := parInputs(t, 11, 30, 30, 0)
+	r2b, err := Rename(r2, "id", "id2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ec := &exec.Context{Parallelism: 4, SeqThreshold: 1}
+	out, err := JoinCtx(ec, r1, r2b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := ec.Stats()
+	// Rename (from the fixture) is not on ec; only the join records.
+	if len(stats) != 1 {
+		t.Fatalf("got %d stat records, want 1: %+v", len(stats), stats)
+	}
+	s := stats[0]
+	if s.Op != "join" {
+		t.Fatalf("op = %q, want join", s.Op)
+	}
+	if s.TuplesIn != int64(r1.Len()+r2b.Len()) {
+		t.Errorf("TuplesIn = %d, want %d", s.TuplesIn, r1.Len()+r2b.Len())
+	}
+	if s.TuplesOut != int64(out.Len()) {
+		t.Errorf("TuplesOut = %d, want %d", s.TuplesOut, out.Len())
+	}
+	// No shared relational attributes: every pair is satisfiability-checked.
+	if want := int64(r1.Len() * r2b.Len()); s.SatChecks != want {
+		t.Errorf("SatChecks = %d, want %d", s.SatChecks, want)
+	}
+	if s.PrunedUnsat != s.SatChecks-s.TuplesOut {
+		t.Errorf("PrunedUnsat = %d, want SatChecks-TuplesOut = %d",
+			s.PrunedUnsat, s.SatChecks-s.TuplesOut)
+	}
+	if !s.Parallel {
+		t.Error("join over 900 pairs at threshold 1 should report Parallel")
+	}
+
+	// Threshold fallback: same join with a huge threshold stays sequential.
+	ec2 := &exec.Context{Parallelism: 4, SeqThreshold: 1 << 20}
+	if _, err := JoinCtx(ec2, r1, r2b); err != nil {
+		t.Fatal(err)
+	}
+	if ec2.Stats()[0].Parallel {
+		t.Error("join below SeqThreshold must not report Parallel")
+	}
+}
+
+// TestEvalCtxThreadsContext checks that plan evaluation hands the context
+// down to every operator in the tree.
+func TestEvalCtxThreadsContext(t *testing.T) {
+	r1, r2 := parInputs(t, 13, 20, 20, 5)
+	env := Env{"R1": r1, "R2": r2}
+	plan := NewProject(NewSelect(NewJoin(Scan("R1"), Scan("R2")),
+		Condition{AttrCmpConst("x", OpLe, rational.FromInt(2000))}), "id", "x")
+	ec := &exec.Context{Parallelism: 4, SeqThreshold: 1}
+	got, err := plan.EvalCtx(env, ec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := plan.Eval(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dump(got) != dump(want) {
+		t.Error("EvalCtx output diverges from Eval")
+	}
+	var ops []string
+	for _, s := range ec.Stats() {
+		ops = append(ops, s.Op)
+	}
+	if strings.Join(ops, ",") != "join,select,project" {
+		t.Errorf("recorded ops = %v, want [join select project]", ops)
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"strings"
 
 	"cdb/internal/constraint"
+	"cdb/internal/exec"
 	"cdb/internal/rational"
 	"cdb/internal/relation"
 	"cdb/internal/schema"
@@ -210,7 +211,8 @@ func (c Condition) Validate(s schema.Schema) error {
 // evalAtom applies one atom to a tuple, returning the surviving tuple
 // variants (empty = rejected; two variants for != over constraint
 // attributes, which splits the region into the < and > half-spaces).
-func evalAtom(a Atom, s schema.Schema, t relation.Tuple) ([]relation.Tuple, error) {
+// Satisfiability decisions are recorded on rec (nil-safe).
+func evalAtom(a Atom, s schema.Schema, t relation.Tuple, rec *exec.OpRecorder) ([]relation.Tuple, error) {
 	switch at := a.(type) {
 	case StringAtom:
 		lv, bound := t.RVal(at.Attr)
@@ -253,24 +255,26 @@ func evalAtom(a Atom, s schema.Schema, t relation.Tuple) ([]relation.Tuple, erro
 		case OpEq, OpLe, OpLt:
 			nc := constraint.Constraint{Expr: e, Op: map[CompOp]constraint.Op{
 				OpEq: constraint.Eq, OpLe: constraint.Le, OpLt: constraint.Lt}[at.Op]}
-			return keepIfSat(t.AndConstraints(nc)), nil
+			return keepIfSat(t.AndConstraints(nc), rec), nil
 		case OpGe:
-			return keepIfSat(t.AndConstraints(constraint.Constraint{Expr: e.Neg(), Op: constraint.Le})), nil
+			return keepIfSat(t.AndConstraints(constraint.Constraint{Expr: e.Neg(), Op: constraint.Le}), rec), nil
 		case OpGt:
-			return keepIfSat(t.AndConstraints(constraint.Constraint{Expr: e.Neg(), Op: constraint.Lt})), nil
+			return keepIfSat(t.AndConstraints(constraint.Constraint{Expr: e.Neg(), Op: constraint.Lt}), rec), nil
 		case OpNe:
 			// e != 0 splits into e < 0 and e > 0.
 			var out []relation.Tuple
-			out = append(out, keepIfSat(t.AndConstraints(constraint.Constraint{Expr: e, Op: constraint.Lt}))...)
-			out = append(out, keepIfSat(t.AndConstraints(constraint.Constraint{Expr: e.Neg(), Op: constraint.Lt}))...)
+			out = append(out, keepIfSat(t.AndConstraints(constraint.Constraint{Expr: e, Op: constraint.Lt}), rec)...)
+			out = append(out, keepIfSat(t.AndConstraints(constraint.Constraint{Expr: e.Neg(), Op: constraint.Lt}), rec)...)
 			return out, nil
 		}
 	}
 	return nil, fmt.Errorf("cqa: unknown atom type %T", a)
 }
 
-func keepIfSat(t relation.Tuple) []relation.Tuple {
-	if t.IsSatisfiable() {
+func keepIfSat(t relation.Tuple, rec *exec.OpRecorder) []relation.Tuple {
+	sat := t.IsSatisfiable()
+	rec.SatCheck(sat)
+	if sat {
 		return []relation.Tuple{t}
 	}
 	return nil

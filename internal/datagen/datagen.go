@@ -20,9 +20,14 @@
 package datagen
 
 import (
+	"fmt"
 	"math/rand"
 
+	"cdb/internal/constraint"
+	"cdb/internal/rational"
+	"cdb/internal/relation"
 	"cdb/internal/rstar"
+	"cdb/internal/schema"
 )
 
 // Params describe one §5.4 workload.
@@ -163,4 +168,44 @@ func DiagonalBoxes(p Params) []rstar.Rect {
 		out[i] = rstar.Rect2(base, base, base+w, base+h)
 	}
 	return out
+}
+
+// BoxRelation materialises the first n workload rectangles as a
+// heterogeneous constraint relation over the schema
+// (id string relational, x rational constraint, y rational constraint):
+// each box becomes the constraint tuple lo_x <= x <= hi_x, lo_y <= y <=
+// hi_y with coordinates rounded to integers (keeping the exact rational
+// arithmetic cheap). It is the bridge from the §5.4 workload generator to
+// the CQA operator benchmarks and the parallel-equivalence tests.
+//
+// idMod controls the relational part: ids repeat modulo idMod so joins
+// and differences find matching relational parts (idMod <= 0 gives every
+// tuple a unique id), and every seventh tuple leaves id NULL so the
+// narrow NULL semantics paths are exercised too.
+func BoxRelation(p Params, n, idMod int) *relation.Relation {
+	boxes := Boxes(p)
+	if n > len(boxes) {
+		n = len(boxes)
+	}
+	s := schema.MustNew(schema.Rel("id", schema.String), schema.Con("x"), schema.Con("y"))
+	r := relation.New(s)
+	for i := 0; i < n; i++ {
+		b := boxes[i]
+		rvals := map[string]relation.Value{}
+		if i%7 != 0 {
+			id := i
+			if idMod > 0 {
+				id = i % idMod
+			}
+			rvals["id"] = relation.Str(fmt.Sprintf("b%d", id))
+		}
+		con := constraint.And(
+			constraint.GeConst("x", rational.FromInt(int64(b.Min[0]))),
+			constraint.LeConst("x", rational.FromInt(int64(b.Max[0]))),
+			constraint.GeConst("y", rational.FromInt(int64(b.Min[1]))),
+			constraint.LeConst("y", rational.FromInt(int64(b.Max[1]))),
+		)
+		r.MustAdd(relation.NewTuple(rvals, con))
+	}
+	return r
 }

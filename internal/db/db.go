@@ -26,6 +26,7 @@ import (
 
 	"cdb/internal/constraint"
 	"cdb/internal/cqa"
+	"cdb/internal/exec"
 	"cdb/internal/query"
 	"cdb/internal/rational"
 	"cdb/internal/relation"
@@ -93,11 +94,17 @@ func (d *Database) Env() cqa.Env {
 // Run parses and executes a query program against the database, returning
 // the final statement's relation. Intermediate results are not persisted.
 func (d *Database) Run(src string) (*relation.Relation, error) {
+	return d.RunCtx(src, nil)
+}
+
+// RunCtx is Run under an execution context: CQA operators fan out over
+// ec's worker pool and record per-operator stats on ec. A nil ec is Run.
+func (d *Database) RunCtx(src string, ec *exec.Context) (*relation.Relation, error) {
 	prog, err := query.Parse(src)
 	if err != nil {
 		return nil, err
 	}
-	out, err := prog.RunOptimized(d.Env())
+	out, err := prog.RunOptimizedCtx(d.Env(), ec)
 	if err != nil {
 		return nil, err
 	}

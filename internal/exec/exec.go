@@ -1,0 +1,138 @@
+// Package exec is the parallel execution layer of CQA/CDB. It sits
+// between the algebra (package cqa) and the data model (package relation)
+// and turns the embarrassingly parallel inner loops of the CQA operators
+// — the per-tuple-pair satisfiability checks that the closure principle
+// (paper §2.5) forces on Select, Project, Join, Intersect and Difference —
+// into fan-outs over a bounded worker pool.
+//
+// The design contract is determinism: Map assigns every work item a fixed
+// index and merges results in index order, so a parallel operator run is
+// byte-identical to the sequential one. Parallelism only changes wall
+// time, never output. Below a tunable input-size threshold the pool is
+// bypassed entirely and work runs inline on the calling goroutine.
+//
+// A *Context carries the policy (worker count, sequential threshold) and
+// collects per-operator statistics (tuples in/out, satisfiability checks,
+// pruned-unsatisfiable count, wall time). The nil *Context is valid
+// everywhere and means "sequential, no stats": operators thread a Context
+// unconditionally and callers that do not care pass nil.
+package exec
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultSeqThreshold is the input size below which Map runs inline on
+// the calling goroutine when the Context does not set its own threshold.
+// Fanning out a handful of cheap checks costs more in scheduling than it
+// saves; the default is sized so that only inputs with real work reach
+// the pool.
+const DefaultSeqThreshold = 64
+
+// Context carries the parallel execution policy and collects per-operator
+// statistics. The zero value and the nil pointer are both valid: a nil
+// *Context executes sequentially and records nothing, the zero value
+// executes with GOMAXPROCS workers and the default threshold.
+//
+// A Context may be reused across operators and queries; Stats accumulates
+// until Reset. The policy fields must not be mutated while an operator is
+// running.
+type Context struct {
+	// Parallelism is the worker-pool size. Zero or negative means
+	// GOMAXPROCS(0). One forces sequential execution.
+	Parallelism int
+
+	// SeqThreshold is the input size (work items: tuples for Select /
+	// Project / Difference, tuple pairs for Join) below which operators
+	// run sequentially. Zero or negative means DefaultSeqThreshold; set
+	// it to 1 to parallelise everything.
+	SeqThreshold int
+
+	mu  sync.Mutex
+	ops []OpStats
+}
+
+// New returns a Context with the given worker-pool size (0 = GOMAXPROCS)
+// and the default sequential threshold.
+func New(parallelism int) *Context {
+	return &Context{Parallelism: parallelism}
+}
+
+// Workers returns the effective worker-pool size.
+func (c *Context) Workers() int {
+	if c == nil || c.Parallelism <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return c.Parallelism
+}
+
+func (c *Context) threshold() int {
+	if c == nil || c.SeqThreshold <= 0 {
+		return DefaultSeqThreshold
+	}
+	return c.SeqThreshold
+}
+
+// ParallelFor reports whether a fan-out over n work items will use the
+// worker pool (rather than run inline).
+func (c *Context) ParallelFor(n int) bool {
+	return c != nil && c.Workers() > 1 && n >= c.threshold()
+}
+
+// Map runs fn(i) for every i in [0, n) and returns the results in index
+// order. When the Context parallelises (see ParallelFor) the calls are
+// spread over a bounded worker pool with dynamic work stealing; the
+// result slice is still index-stable, so output is identical to the
+// sequential path whatever the scheduling.
+//
+// On error the lowest-index error is returned (matching what a
+// sequential left-to-right loop would hit first); in the parallel case
+// fn may also have been called for later indices, so fn must be safe to
+// call for any index regardless of other indices' failures. fn must not
+// mutate shared state without its own synchronisation.
+func Map[T any](c *Context, n int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	if !c.ParallelFor(n) {
+		out := make([]T, n)
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	out := make([]T, n)
+	errs := make([]error, n)
+	workers := c.Workers()
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i], errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

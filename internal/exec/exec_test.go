@@ -1,0 +1,199 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapSequentialOrder(t *testing.T) {
+	out, err := Map(nil, 10, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestMapParallelOrderAndCoverage(t *testing.T) {
+	c := &Context{Parallelism: 8, SeqThreshold: 1}
+	const n = 1000
+	var calls atomic.Int64
+	out, err := Map(c, n, func(i int) (int, error) {
+		calls.Add(1)
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != n {
+		t.Fatalf("fn called %d times, want %d", calls.Load(), n)
+	}
+	for i, v := range out {
+		if v != i {
+			t.Fatalf("out[%d] = %d: result order not index-stable", i, v)
+		}
+	}
+}
+
+func TestMapZeroItems(t *testing.T) {
+	out, err := Map(New(4), 0, func(i int) (int, error) { return 0, errors.New("must not be called") })
+	if err != nil || out != nil {
+		t.Fatalf("Map over 0 items: got %v, %v", out, err)
+	}
+}
+
+func TestMapReturnsLowestIndexError(t *testing.T) {
+	for _, par := range []int{1, 4} {
+		c := &Context{Parallelism: par, SeqThreshold: 1}
+		_, err := Map(c, 100, func(i int) (int, error) {
+			if i == 17 || i == 90 {
+				return 0, fmt.Errorf("boom at %d", i)
+			}
+			return i, nil
+		})
+		if err == nil || err.Error() != "boom at 17" {
+			t.Fatalf("par=%d: got err %v, want lowest-index error (boom at 17)", par, err)
+		}
+	}
+}
+
+func TestParallelForThreshold(t *testing.T) {
+	c := &Context{Parallelism: 4, SeqThreshold: 50}
+	if c.ParallelFor(49) {
+		t.Fatal("49 items below threshold 50 must run sequentially")
+	}
+	if !c.ParallelFor(50) {
+		t.Fatal("50 items at threshold 50 must parallelise")
+	}
+	seq := &Context{Parallelism: 1, SeqThreshold: 1}
+	if seq.ParallelFor(1 << 20) {
+		t.Fatal("parallelism 1 must never use the pool")
+	}
+	var nilCtx *Context
+	if nilCtx.ParallelFor(1 << 20) {
+		t.Fatal("nil context must be sequential")
+	}
+	def := &Context{Parallelism: 4}
+	if def.ParallelFor(DefaultSeqThreshold - 1) {
+		t.Fatal("default threshold not applied")
+	}
+}
+
+func TestWorkersDefaults(t *testing.T) {
+	var nilCtx *Context
+	if got := nilCtx.Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("nil context workers = %d, want GOMAXPROCS", got)
+	}
+	if got := New(0).Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("parallelism 0 workers = %d, want GOMAXPROCS", got)
+	}
+	if got := New(3).Workers(); got != 3 {
+		t.Fatalf("workers = %d, want 3", got)
+	}
+}
+
+func TestStatsRecording(t *testing.T) {
+	c := New(2)
+	rec := c.StartOp("join", 120)
+	rec.SatCheck(true)
+	rec.SatCheck(false)
+	rec.SatCheck(true)
+	rec.AddOut(2)
+	rec.Done(true)
+
+	rec2 := c.StartOp("select", 10)
+	rec2.SatCheck(false)
+	rec2.Done(false)
+
+	stats := c.Stats()
+	if len(stats) != 2 {
+		t.Fatalf("got %d records, want 2", len(stats))
+	}
+	j := stats[0]
+	if j.Op != "join" || j.TuplesIn != 120 || j.TuplesOut != 2 ||
+		j.SatChecks != 3 || j.PrunedUnsat != 1 || !j.Parallel {
+		t.Fatalf("join record wrong: %+v", j)
+	}
+	if j.Wall < 0 {
+		t.Fatalf("negative wall time: %v", j.Wall)
+	}
+	c.Reset()
+	if len(c.Stats()) != 0 {
+		t.Fatal("Reset did not clear records")
+	}
+}
+
+func TestStatsConcurrentCounters(t *testing.T) {
+	c := New(8)
+	c.SeqThreshold = 1
+	rec := c.StartOp("join", 0)
+	const n = 2000
+	_, err := Map(c, n, func(i int) (struct{}, error) {
+		rec.SatCheck(i%3 == 0)
+		rec.AddOut(1)
+		return struct{}{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.Done(true)
+	s := c.Stats()[0]
+	if s.SatChecks != n || s.TuplesOut != n {
+		t.Fatalf("lost updates: %+v", s)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var c *Context
+	rec := c.StartOp("join", 5) // nil recorder
+	rec.SatCheck(true)
+	rec.AddOut(1)
+	rec.Done(false)
+	if c.Stats() != nil {
+		t.Fatal("nil context must have no stats")
+	}
+	c.Reset() // must not panic
+}
+
+func TestSummaryAggregates(t *testing.T) {
+	c := New(2)
+	for i := 0; i < 3; i++ {
+		rec := c.StartOp("select", 10)
+		rec.AddOut(4)
+		rec.SatCheck(true)
+		rec.Done(i == 1)
+	}
+	rec := c.StartOp("join", 7)
+	rec.Done(false)
+	sum := c.Summary()
+	if len(sum) != 2 {
+		t.Fatalf("got %d summary rows, want 2", len(sum))
+	}
+	if sum[0].Op != "select" || sum[0].TuplesIn != 30 || sum[0].TuplesOut != 12 ||
+		sum[0].SatChecks != 3 || !sum[0].Parallel {
+		t.Fatalf("select summary wrong: %+v", sum[0])
+	}
+	if sum[1].Op != "join" || sum[1].TuplesIn != 7 || sum[1].Parallel {
+		t.Fatalf("join summary wrong: %+v", sum[1])
+	}
+}
+
+func TestFormatStats(t *testing.T) {
+	out := FormatStats([]OpStats{
+		{Op: "join", TuplesIn: 10, TuplesOut: 3, SatChecks: 25, PrunedUnsat: 22,
+			Wall: 1500 * time.Microsecond, Parallel: true},
+	})
+	for _, want := range []string{"operator", "join", "25", "par"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("FormatStats output missing %q:\n%s", want, out)
+		}
+	}
+}

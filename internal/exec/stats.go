@@ -1,0 +1,147 @@
+package exec
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"text/tabwriter"
+	"time"
+)
+
+// OpStats is one operator invocation's execution record.
+type OpStats struct {
+	Op          string        // operator name: select, project, join, intersect, union, rename, difference
+	TuplesIn    int64         // input tuples (both sides summed for binary operators)
+	TuplesOut   int64         // output tuples
+	SatChecks   int64         // satisfiability decisions made
+	PrunedUnsat int64         // candidates discarded as unsatisfiable
+	Wall        time.Duration // wall time of the operator
+	Parallel    bool          // whether the worker pool was used
+}
+
+// OpRecorder accumulates one operator invocation's statistics. Its
+// counter methods are safe to call concurrently from pool workers, and
+// every method is a no-op on the nil receiver, so operators record
+// unconditionally whether or not a Context is present.
+type OpRecorder struct {
+	c         *Context
+	op        string
+	tuplesIn  int64
+	start     time.Time
+	satChecks atomic.Int64
+	pruned    atomic.Int64
+	tuplesOut atomic.Int64
+}
+
+// StartOp opens a recorder for one operator invocation. Returns nil (a
+// valid no-op recorder) on the nil Context.
+func (c *Context) StartOp(op string, tuplesIn int) *OpRecorder {
+	if c == nil {
+		return nil
+	}
+	return &OpRecorder{c: c, op: op, tuplesIn: int64(tuplesIn), start: time.Now()}
+}
+
+// SatCheck records one satisfiability decision and, when it came out
+// unsatisfiable, one pruned candidate.
+func (r *OpRecorder) SatCheck(sat bool) {
+	if r == nil {
+		return
+	}
+	r.satChecks.Add(1)
+	if !sat {
+		r.pruned.Add(1)
+	}
+}
+
+// AddOut records n output tuples.
+func (r *OpRecorder) AddOut(n int) {
+	if r == nil {
+		return
+	}
+	r.tuplesOut.Add(int64(n))
+}
+
+// Done closes the recorder and appends the operator's record to the
+// Context. parallel reports whether the worker pool was used.
+func (r *OpRecorder) Done(parallel bool) {
+	if r == nil {
+		return
+	}
+	s := OpStats{
+		Op:          r.op,
+		TuplesIn:    r.tuplesIn,
+		TuplesOut:   r.tuplesOut.Load(),
+		SatChecks:   r.satChecks.Load(),
+		PrunedUnsat: r.pruned.Load(),
+		Wall:        time.Since(r.start),
+		Parallel:    parallel,
+	}
+	r.c.mu.Lock()
+	r.c.ops = append(r.c.ops, s)
+	r.c.mu.Unlock()
+}
+
+// Stats returns a copy of the operator records collected so far, in
+// completion order.
+func (c *Context) Stats() []OpStats {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]OpStats{}, c.ops...)
+}
+
+// Reset discards the collected operator records.
+func (c *Context) Reset() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.ops = nil
+	c.mu.Unlock()
+}
+
+// Summary aggregates the collected records per operator name, preserving
+// first-appearance order. The Parallel flag is set if any aggregated
+// invocation used the pool.
+func (c *Context) Summary() []OpStats {
+	stats := c.Stats()
+	index := map[string]int{}
+	var out []OpStats
+	for _, s := range stats {
+		i, ok := index[s.Op]
+		if !ok {
+			index[s.Op] = len(out)
+			out = append(out, s)
+			continue
+		}
+		out[i].TuplesIn += s.TuplesIn
+		out[i].TuplesOut += s.TuplesOut
+		out[i].SatChecks += s.SatChecks
+		out[i].PrunedUnsat += s.PrunedUnsat
+		out[i].Wall += s.Wall
+		out[i].Parallel = out[i].Parallel || s.Parallel
+	}
+	return out
+}
+
+// FormatStats renders operator records as an aligned table (the -stats
+// output of cmd/cqacdb and cmd/cdbbench).
+func FormatStats(stats []OpStats) string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
+	fmt.Fprintln(w, "operator\tin\tout\tsat-checks\tpruned\twall\tmode")
+	for _, s := range stats {
+		mode := "seq"
+		if s.Parallel {
+			mode = "par"
+		}
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%s\t%s\n",
+			s.Op, s.TuplesIn, s.TuplesOut, s.SatChecks, s.PrunedUnsat,
+			s.Wall.Round(time.Microsecond), mode)
+	}
+	w.Flush()
+	return b.String()
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"cdb/internal/cqa"
+	"cdb/internal/exec"
 	"cdb/internal/geometry"
 	"cdb/internal/relation"
 	"cdb/internal/schema"
@@ -23,23 +24,35 @@ const (
 // the final statement's relation is returned. The environment itself is
 // not mutated; intermediate results live in a scratch copy.
 func (prog *Program) Run(env cqa.Env) (*relation.Relation, error) {
-	return prog.run(env, false)
+	return prog.run(env, false, nil)
 }
 
 // RunOptimized is Run with the CQA optimiser applied to each statement's
 // plan before evaluation.
 func (prog *Program) RunOptimized(env cqa.Env) (*relation.Relation, error) {
-	return prog.run(env, true)
+	return prog.run(env, true, nil)
 }
 
-func (prog *Program) run(env cqa.Env, optimize bool) (*relation.Relation, error) {
+// RunCtx is Run under an execution context: CQA operators fan out over
+// ec's worker pool and record per-operator stats on ec (see package
+// exec). A nil ec is Run.
+func (prog *Program) RunCtx(env cqa.Env, ec *exec.Context) (*relation.Relation, error) {
+	return prog.run(env, false, ec)
+}
+
+// RunOptimizedCtx is RunOptimized under an execution context.
+func (prog *Program) RunOptimizedCtx(env cqa.Env, ec *exec.Context) (*relation.Relation, error) {
+	return prog.run(env, true, ec)
+}
+
+func (prog *Program) run(env cqa.Env, optimize bool, ec *exec.Context) (*relation.Relation, error) {
 	scratch := make(cqa.Env, len(env)+len(prog.Stmts))
 	for k, v := range env {
 		scratch[k] = v
 	}
 	var last *relation.Relation
 	for _, st := range prog.Stmts {
-		r, err := evalExpr(st.Expr, scratch, optimize)
+		r, err := evalExpr(st.Expr, scratch, optimize, ec)
 		if err != nil {
 			return nil, fmt.Errorf("query: line %d (%s = %s): %w", st.Line, st.Target, st.Expr, err)
 		}
@@ -51,15 +64,15 @@ func (prog *Program) run(env cqa.Env, optimize bool) (*relation.Relation, error)
 
 // Eval evaluates a single expression against the environment.
 func (e *Expr) Eval(env cqa.Env) (*relation.Relation, error) {
-	return evalExpr(e, env, false)
+	return evalExpr(e, env, false, nil)
 }
 
-func evalExpr(e *Expr, env cqa.Env, optimize bool) (*relation.Relation, error) {
+func evalExpr(e *Expr, env cqa.Env, optimize bool, ec *exec.Context) (*relation.Relation, error) {
 	switch e.Kind {
 	case ExprBufferJoin:
-		return evalBufferJoin(e, env, optimize)
+		return evalBufferJoin(e, env, optimize, ec)
 	case ExprKNearest:
-		return evalKNearest(e, env, optimize)
+		return evalKNearest(e, env, optimize, ec)
 	}
 	node, err := toPlan(e, env)
 	if err != nil {
@@ -68,7 +81,7 @@ func evalExpr(e *Expr, env cqa.Env, optimize bool) (*relation.Relation, error) {
 	if optimize {
 		node = cqa.Optimize(node, env.Schemas())
 	}
-	return node.Eval(env)
+	return node.EvalCtx(env, ec)
 }
 
 // toPlan lowers the surface expression to a CQA plan, binding selection
@@ -173,12 +186,12 @@ func deduceSpatial(s schema.Schema) (fid, x, y string, err error) {
 	return fids[0], cons[0], cons[1], nil
 }
 
-func evalBufferJoin(e *Expr, env cqa.Env, optimize bool) (*relation.Relation, error) {
-	l, err := evalExpr(e.Src, env, optimize)
+func evalBufferJoin(e *Expr, env cqa.Env, optimize bool, ec *exec.Context) (*relation.Relation, error) {
+	l, err := evalExpr(e.Src, env, optimize, ec)
 	if err != nil {
 		return nil, err
 	}
-	r, err := evalExpr(e.Src2, env, optimize)
+	r, err := evalExpr(e.Src2, env, optimize, ec)
 	if err != nil {
 		return nil, err
 	}
@@ -203,8 +216,8 @@ func evalBufferJoin(e *Expr, env cqa.Env, optimize bool) (*relation.Relation, er
 	return spatial.PairsToRelation(pairs, leftName, rightName)
 }
 
-func evalKNearest(e *Expr, env cqa.Env, optimize bool) (*relation.Relation, error) {
-	in, err := evalExpr(e.Src, env, optimize)
+func evalKNearest(e *Expr, env cqa.Env, optimize bool, ec *exec.Context) (*relation.Relation, error) {
+	in, err := evalExpr(e.Src, env, optimize, ec)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,13 @@
+#!/bin/sh
+# Full local gate: vet plus the race-enabled test suite. The race run is
+# what protects the parallel execution layer (internal/exec and the *Ctx
+# operators in internal/cqa) — run it before sending any change that
+# touches them.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo '>> go vet ./...'
+go vet ./...
+echo '>> go test -race ./...'
+go test -race ./...
+echo 'OK'
