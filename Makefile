@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-parallel
+.PHONY: build test check bench bench-parallel bench-canon
 
 build:
 	$(GO) build ./...
@@ -18,3 +18,9 @@ bench:
 
 bench-parallel:
 	$(GO) test -bench Parallel -benchtime 5x .
+
+# Measures what the canonical-form sat-cache saves: raw Fourier-Motzkin
+# decision counts and wall time, cold vs warm, on the cqa operator
+# workload. Writes the measurements to BENCH_canon.json.
+bench-canon:
+	$(GO) run ./cmd/cdbbench -expt canon -cqasize 48 -rounds 5 -json BENCH_canon.json

@@ -188,12 +188,36 @@ func Optimize(n PlanNode, schemas cqa.SchemaEnv) PlanNode { return cqa.Optimize(
 type ExecContext = exec.Context
 
 // OpStats is one operator invocation's execution record (tuples in/out,
-// satisfiability checks, pruned-unsat count, wall time).
+// satisfiability checks, pruned-unsat count, sat-cache hits/misses, wall
+// time).
 type OpStats = exec.OpStats
 
 // NewExecContext returns an execution context with the given worker-pool
 // size (0 = GOMAXPROCS).
 func NewExecContext(parallelism int) *ExecContext { return exec.New(parallelism) }
+
+// --- canonical forms and the memoized satisfiability engine ---
+
+// SatCache is the sharded, bounded-LRU memo of satisfiability decisions,
+// keyed by canonical-form fingerprint. Set it on ExecContext.SatCache to
+// have every operator's decisions memoized; share one across contexts and
+// queries to carry the memo between runs. Safe for concurrent use.
+type SatCache = constraint.SatCache
+
+// CacheStats is a point-in-time snapshot of a SatCache's counters.
+type CacheStats = constraint.CacheStats
+
+// DefaultSatCacheSize is the entry bound used for non-positive capacities.
+const DefaultSatCacheSize = constraint.DefaultSatCacheSize
+
+// NewSatCache returns a sat-cache bounded to roughly capacity entries
+// (non-positive = DefaultSatCacheSize).
+func NewSatCache(capacity int) *SatCache { return constraint.NewSatCache(capacity) }
+
+// SatDecisionCount returns the number of raw Fourier-Motzkin satisfiability
+// decisions made by this process so far — the quantity the sat-cache saves.
+// Monotonic; read deltas around a workload.
+func SatDecisionCount() int64 { return constraint.DecisionCount() }
 
 // FormatStats renders operator records as an aligned table.
 func FormatStats(stats []OpStats) string { return exec.FormatStats(stats) }

@@ -11,6 +11,7 @@
 //	cdbbench -expt exp3         # the 500-query mixed workload
 //	cdbbench -expt corner       # the §5.3 corner case
 //	cdbbench -expt cqa          # parallel vs sequential CQA operator timings
+//	cdbbench -expt canon        # sat-cache cold vs warm decision counts
 //	cdbbench -scale 10          # 1/10th of the data for a quick run
 //	cdbbench -page 512          # page (node) size in bytes
 //	cdbbench -buckets 8         # plot buckets per series
@@ -21,15 +22,25 @@
 // execution layer (-par workers, 0 = GOMAXPROCS; -cqasize tuples per
 // side), and reports per-operator speedups; -stats adds the per-operator
 // execution table (tuples in/out, satisfiability checks, pruned-unsat
-// count, wall time).
+// count, sat-cache hits/misses, wall time).
+//
+// The canon experiment runs the same operator workload -rounds times, cold
+// (no sat-cache) and warm (one -sat-cache shared across rounds), and
+// compares the raw Fourier-Motzkin decision counts, the cache hit rate and
+// the wall times; it fails if the warm output is not byte-identical to the
+// cold output. -json writes the measurements as a JSON object (the
+// `make bench-canon` target writes BENCH_canon.json this way).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
+	"cdb/internal/constraint"
 	"cdb/internal/cqa"
 	"cdb/internal/datagen"
 	"cdb/internal/exec"
@@ -47,15 +58,18 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("cdbbench", flag.ContinueOnError)
-	expt := fs.String("expt", "all", "experiment: fig4 | fig5 | exp3 | corner | all")
+	expt := fs.String("expt", "all", "experiment: fig4 | fig5 | exp3 | corner | cqa | canon | all")
 	scale := fs.Int("scale", 1, "shrink factor for the workload (1 = paper scale)")
 	page := fs.Int("page", 4096, "page size in bytes (one R*-tree node per page)")
 	buckets := fs.Int("buckets", 8, "buckets per rendered series")
 	seed := fs.Int64("seed", 0, "override the workload seed (0 = default)")
 	verify := fs.Bool("verify", false, "verify the paper's qualitative claims against the measurements")
-	par := fs.Int("par", 0, "cqa experiment: worker-pool size (0 = GOMAXPROCS)")
-	cqaSize := fs.Int("cqasize", 48, "cqa experiment: tuples per input relation")
-	stats := fs.Bool("stats", false, "cqa experiment: print the per-operator execution table")
+	par := fs.Int("par", 0, "cqa/canon experiments: worker-pool size (0 = GOMAXPROCS)")
+	cqaSize := fs.Int("cqasize", 48, "cqa/canon experiments: tuples per input relation")
+	stats := fs.Bool("stats", false, "cqa/canon experiments: print the per-operator execution table")
+	rounds := fs.Int("rounds", 3, "canon experiment: times to repeat the workload")
+	satCache := fs.Int("sat-cache", 32768, "canon experiment: warm-run sat-cache size in entries")
+	jsonPath := fs.String("json", "", "canon experiment: write the measurements to this JSON file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -65,6 +79,9 @@ func run(args []string) error {
 	}
 	if *expt == "cqa" {
 		return runCQA(p, *par, *cqaSize, *stats)
+	}
+	if *expt == "canon" {
+		return runCanon(p, *par, *cqaSize, *rounds, *satCache, *jsonPath, *stats)
 	}
 	fmt.Printf("workload: %d boxes, %d queries, coords [0,%g], sizes [%g,%g], seed %d, page %d bytes\n\n",
 		p.NumData, p.NumQueries, p.CoordMax, p.SizeMin, p.SizeMax, p.Seed, *page)
@@ -189,4 +206,155 @@ func runCQA(p datagen.Params, par, size int, stats bool) error {
 		fmt.Print(exec.FormatStats(ecPar.Summary()))
 	}
 	return nil
+}
+
+// canonResult is the measurement record of the canon experiment (also its
+// -json output shape).
+type canonResult struct {
+	Experiment     string  `json:"experiment"`
+	TuplesPerSide  int     `json:"tuples_per_side"`
+	Rounds         int     `json:"rounds"`
+	Workers        int     `json:"workers"`
+	CacheSize      int     `json:"cache_size"`
+	ColdDecisions  int64   `json:"cold_raw_decisions"`
+	WarmDecisions  int64   `json:"warm_raw_decisions"`
+	DecisionsSaved int64   `json:"raw_decisions_saved"`
+	CacheHits      int64   `json:"cache_hits"`
+	CacheMisses    int64   `json:"cache_misses"`
+	HitRate        float64 `json:"hit_rate"`
+	Evictions      int64   `json:"evictions"`
+	Collisions     int64   `json:"collisions"`
+	ColdWallMS     float64 `json:"cold_wall_ms"`
+	WarmWallMS     float64 `json:"warm_wall_ms"`
+	Identical      bool    `json:"outputs_identical"`
+}
+
+// runCanon measures what the canonical-form sat-cache saves: the same CQA
+// operator workload (join, select, intersect, union, difference over
+// workload-derived constraint relations) repeated `rounds` times, once cold
+// — every satisfiability question answered by the raw Fourier-Motzkin
+// eliminator — and once warm, with one bounded cache shared across the
+// rounds. The raw decision counts come from constraint.DecisionCount, so
+// they count eliminator runs, not operator-level checks. The warm output
+// must be byte-identical to the cold output; the run fails otherwise.
+func runCanon(p datagen.Params, par, size, rounds, cacheSize int, jsonPath string, stats bool) error {
+	if rounds < 1 {
+		rounds = 1
+	}
+	r1 := datagen.BoxRelation(p, size, 0)
+	p2 := p
+	p2.Seed = p.Seed + 1000
+	r2 := datagen.BoxRelation(p2, size, 0)
+	r2x, err := cqa.Rename(r2, "id", "id2")
+	if err != nil {
+		return err
+	}
+	cond := cqa.Condition{
+		cqa.AttrCmpConst("x", cqa.OpLe, rational.FromInt(1500)),
+		cqa.AttrCmpConst("y", cqa.OpNe, rational.FromInt(700)),
+	}
+	// workload runs every operator once and returns the concatenated
+	// rendered outputs (the byte-identity witness).
+	workload := func(ec *exec.Context) (string, error) {
+		var dump strings.Builder
+		runs := []func() (*relation.Relation, error){
+			func() (*relation.Relation, error) { return cqa.JoinCtx(ec, r1, r2x) },
+			func() (*relation.Relation, error) { return cqa.SelectCtx(ec, r1, cond) },
+			func() (*relation.Relation, error) { return cqa.IntersectCtx(ec, r1, r2) },
+			func() (*relation.Relation, error) { return cqa.UnionCtx(ec, r1, r2) },
+			func() (*relation.Relation, error) { return cqa.DifferenceCtx(ec, r1, r2) },
+		}
+		for _, run := range runs {
+			out, err := run()
+			if err != nil {
+				return "", err
+			}
+			dump.WriteString(out.String())
+			dump.WriteByte('\n')
+		}
+		return dump.String(), nil
+	}
+	repeat := func(ec *exec.Context) (dump string, decisions int64, wall time.Duration, err error) {
+		base := constraint.DecisionCount()
+		t0 := time.Now()
+		for i := 0; i < rounds; i++ {
+			dump, err = workload(ec)
+			if err != nil {
+				return "", 0, 0, err
+			}
+		}
+		return dump, constraint.DecisionCount() - base, time.Since(t0), nil
+	}
+
+	ecCold := exec.New(par)
+	ecCold.SeqThreshold = 1
+	coldDump, coldDecisions, coldWall, err := repeat(ecCold)
+	if err != nil {
+		return fmt.Errorf("canon cold: %w", err)
+	}
+
+	cache := constraint.NewSatCache(cacheSize)
+	ecWarm := exec.New(par)
+	ecWarm.SeqThreshold = 1
+	ecWarm.SatCache = cache
+	warmDump, warmDecisions, warmWall, err := repeat(ecWarm)
+	if err != nil {
+		return fmt.Errorf("canon warm: %w", err)
+	}
+
+	cs := cache.Stats()
+	res := canonResult{
+		Experiment:     "canon",
+		TuplesPerSide:  size,
+		Rounds:         rounds,
+		Workers:        ecWarm.Workers(),
+		CacheSize:      cacheSize,
+		ColdDecisions:  coldDecisions,
+		WarmDecisions:  warmDecisions,
+		DecisionsSaved: coldDecisions - warmDecisions,
+		CacheHits:      cs.Hits,
+		CacheMisses:    cs.Misses,
+		HitRate:        cs.HitRate(),
+		Evictions:      cs.Evictions,
+		Collisions:     cs.Collisions,
+		ColdWallMS:     float64(coldWall) / float64(time.Millisecond),
+		WarmWallMS:     float64(warmWall) / float64(time.Millisecond),
+		Identical:      coldDump == warmDump,
+	}
+
+	fmt.Printf("canonical-form sat-cache: %d tuples per side, %d rounds, %d workers, cache %d entries\n\n",
+		size, rounds, res.Workers, cacheSize)
+	fmt.Printf("%-28s %12s %12s\n", "", "cold", "warm")
+	fmt.Printf("%-28s %12d %12d\n", "raw FM decisions", coldDecisions, warmDecisions)
+	fmt.Printf("%-28s %12s %12s\n", "wall time",
+		coldWall.Round(time.Microsecond), warmWall.Round(time.Microsecond))
+	fmt.Printf("\nsat-cache: %s\n", cs)
+	fmt.Printf("raw decisions saved by the cache: %d (%.1f%%)\n",
+		res.DecisionsSaved, 100*float64(res.DecisionsSaved)/float64(maxInt64(coldDecisions, 1)))
+	if !res.Identical {
+		return fmt.Errorf("canon: warm output diverges from cold output")
+	}
+	fmt.Println("outputs byte-identical with and without the cache")
+	if stats {
+		fmt.Println("\nwarm run, per-operator stats:")
+		fmt.Print(exec.FormatStats(ecWarm.Summary()))
+	}
+	if jsonPath != "" {
+		b, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(b, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Println("wrote", jsonPath)
+	}
+	return nil
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
 }

@@ -14,8 +14,12 @@
 // worker-pool size (0 = GOMAXPROCS, 1 = sequential), -par-threshold the
 // input size below which operators stay sequential, and -stats prints a
 // per-operator execution table (tuples in/out, satisfiability checks,
-// pruned-unsat count, wall time) after each program. Parallel output is
-// byte-identical to sequential output.
+// pruned-unsat count, sat-cache hits/misses, wall time) after each program,
+// followed by the sat-cache counters when the cache is on. -sat-cache sets
+// the size of the memoized satisfiability engine (entries; 0 disables it),
+// which persists across the statements and programs of a session, so
+// repeated shapes are decided once. Parallel output is byte-identical to
+// sequential output, with or without the cache.
 //
 // Interactive commands (besides query statements "Name = ..."):
 //
@@ -36,6 +40,7 @@ import (
 	"strings"
 
 	"cdb/internal/calculus"
+	"cdb/internal/constraint"
 	"cdb/internal/db"
 	"cdb/internal/exec"
 	"cdb/internal/hurricane"
@@ -62,11 +67,16 @@ func run(args []string) error {
 	par := fs.Int("par", 0, "CQA worker-pool size (0 = GOMAXPROCS, 1 = sequential)")
 	parThreshold := fs.Int("par-threshold", 0, "input size below which operators run sequentially (0 = default)")
 	stats := fs.Bool("stats", false, "print per-operator execution stats after each program")
+	satCache := fs.Int("sat-cache", constraint.DefaultSatCacheSize,
+		"memoized satisfiability engine size in entries (0 = disabled)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	ec := exec.New(*par)
 	ec.SeqThreshold = *parThreshold
+	if *satCache > 0 {
+		ec.SatCache = constraint.NewSatCache(*satCache)
+	}
 
 	var d *db.Database
 	switch {
@@ -129,10 +139,15 @@ func run(args []string) error {
 
 // printStats renders and clears the context's per-operator records when
 // enabled; the context keeps accumulating otherwise-silently ignored
-// records if the flag is off, so it is reset either way.
+// records if the flag is off, so it is reset either way. The sat-cache
+// counters (cumulative for the session) follow the table when a cache is
+// configured.
 func printStats(w io.Writer, ec *exec.Context, enabled bool) {
 	if enabled {
 		fmt.Fprint(w, exec.FormatStats(ec.Summary()))
+		if ec.SatCache != nil {
+			fmt.Fprintf(w, "sat-cache: %s\n", ec.SatCache.Stats())
+		}
 	}
 	ec.Reset()
 }

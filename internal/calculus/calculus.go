@@ -289,7 +289,7 @@ func (p *Program) RunCtx(env cqa.Env, ec *exec.Context) (*relation.Relation, err
 		}
 	}
 	last := p.Rules[len(p.Rules)-1].HeadName
-	return scratch[last].Normalize(), nil
+	return scratch[last].NormalizeWith(ec.SatFunc()), nil
 }
 
 // String renders the program back to rule syntax.

@@ -1,0 +1,180 @@
+package constraint
+
+import (
+	"sort"
+
+	"cdb/internal/rational"
+)
+
+// This file implements the canonical form of constraint tuples — the shared
+// representation contract that every CQA operator emits (see package cqa) —
+// and the 64-bit structural fingerprint computed over it.
+//
+// Canonical form matters for the same reason it mattered in the original
+// CQA/CDB system: without normalisation and simplification the finite
+// representations that the closure principle (paper §2.5) guarantees bloat
+// from operator to operator, and the same satisfiability questions get
+// re-proved endlessly. A canonical Conjunction is:
+//
+//   - atom-canonical: every constraint is scaled so its lexicographically
+//     first variable coefficient has absolute value 1 (sign +1 for
+//     equalities), per Constraint.Canonical;
+//   - trivial-free: trivially true atoms are dropped; a trivially false
+//     atom collapses the whole conjunction to False() (whose 0 < 0
+//     sentinel is itself canonical and survives Canon unchanged);
+//   - folded: parallel half-planes (same canonical variable part, same
+//     inequality direction) are folded keeping only the tighter bound, and
+//     duplicate atoms are removed;
+//   - sorted: atoms are in a stable total order, so two conjunctions built
+//     from the same atoms in any order canonicalise identically.
+//
+// The fingerprint is an FNV-1a hash over the canonical atoms. Equal
+// fingerprints make equal canonical forms overwhelmingly likely but not
+// certain; callers that must be exact (the sat-cache, Normalize) verify
+// with EqualCanonical on fingerprint hits.
+
+// Canonical returns c scaled so that its first (lexicographically smallest)
+// variable coefficient has absolute value 1; for equalities the sign is also
+// normalised to +1. Trivial constraints are returned unchanged. Two
+// constraints denote the same half-space / hyperplane iff their canonical
+// forms are Equal (modulo Eq sign, handled here).
+func (c Constraint) Canonical() Constraint {
+	ts := c.Expr.Terms()
+	if len(ts) == 0 {
+		return c
+	}
+	lead := ts[0].Coef
+	var k rational.Rat
+	if c.Op == Eq {
+		k = lead.Inv() // may flip sign: fine for equalities
+	} else {
+		k = lead.Abs().Inv() // positive scale only: preserves inequality direction
+	}
+	if k.Equal(rational.One) {
+		return c
+	}
+	return Constraint{Expr: c.Expr.Scale(k), Op: c.Op}
+}
+
+// Canon returns the canonical form of j: an equivalent conjunction with
+// atom-canonical, trivial-free, folded, stably sorted constraints (see the
+// file comment). Canon is idempotent, never grows the conjunction, and is
+// cheap — it does no satisfiability reasoning, so a canonical conjunction
+// can still be unsatisfiable (except for trivially false atoms, which
+// collapse to False()).
+//
+// The result is flagged internally, so Canon on an already-canonical
+// conjunction returns it unchanged in O(1); every constructor that could
+// perturb the form (With, Merge, Substitute, ...) clears the flag.
+func (j Conjunction) Canon() Conjunction {
+	if j.canon {
+		return j
+	}
+	// Pass 1: canonicalise atoms, drop trivially true, collapse on
+	// trivially false.
+	atoms := make([]Constraint, 0, len(j.cs))
+	for _, c := range j.cs {
+		if triv, val := c.IsTrivial(); triv {
+			if val {
+				continue
+			}
+			return False()
+		}
+		atoms = append(atoms, c.Canonical())
+	}
+	// Pass 2: dedupe equalities exactly; fold parallel inequalities
+	// (identical canonical variable part) keeping only the tighter bound.
+	// Opposite-direction half-planes have different canonical variable
+	// parts (the inequality scale is positive), so they are never folded.
+	kept := make([]Constraint, 0, len(atoms))
+	group := map[string]int{} // canonical group key -> index into kept
+	for _, c := range atoms {
+		varPart := Expr{terms: c.Expr.terms}
+		if c.Op == Eq {
+			key := "=|" + varPart.String() + "|" + c.Expr.c.Key()
+			if _, dup := group[key]; dup {
+				continue
+			}
+			group[key] = len(kept)
+			kept = append(kept, c)
+			continue
+		}
+		key := varPart.String()
+		i, ok := group[key]
+		if !ok {
+			group[key] = len(kept)
+			kept = append(kept, c)
+			continue
+		}
+		// Same variable part: varPart + k OP 0 is tighter when k is larger;
+		// at equal k the strict inequality is tighter.
+		prev := kept[i]
+		pk, ck := prev.Expr.ConstTerm(), c.Expr.ConstTerm()
+		if cmp := ck.Cmp(pk); cmp > 0 || (cmp == 0 && c.Op == Lt && prev.Op == Le) {
+			kept[i] = c
+		}
+	}
+	// Pass 3: stable total order.
+	sort.Slice(kept, func(a, b int) bool { return lessConstraint(kept[a], kept[b]) })
+	return Conjunction{cs: kept, canon: true, fp: fingerprintOf(kept)}
+}
+
+// lessConstraint is the stable total order of canonical atoms: by operator,
+// then by rendered expression. Exact ties are identical atoms.
+func lessConstraint(a, b Constraint) bool {
+	if a.Op != b.Op {
+		return a.Op < b.Op
+	}
+	return a.Expr.String() < b.Expr.String()
+}
+
+// Fingerprint returns the 64-bit structural hash of j's canonical form.
+// Equivalent-up-to-canonicalisation conjunctions (reordered atoms, scaled
+// coefficients, redundant parallel bounds) have equal fingerprints; distinct
+// canonical forms collide only with hash probability (~2^-64). Use
+// EqualCanonical to verify a fingerprint match exactly.
+func (j Conjunction) Fingerprint() uint64 {
+	if j.canon {
+		return j.fp
+	}
+	return j.Canon().fp
+}
+
+// EqualCanonical reports whether j and k have identical canonical forms —
+// the exact predicate behind a Fingerprint match. Canonically equal
+// conjunctions are equivalent; the converse does not hold (use Equivalent
+// for the semantic comparison).
+func (j Conjunction) EqualCanonical(k Conjunction) bool {
+	cj, ck := j.Canon(), k.Canon()
+	return equalAtoms(cj.cs, ck.cs)
+}
+
+// FNV-1a, 64 bit.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fingerprintOf hashes a slice of (canonical) constraints. Every field is
+// terminated with an out-of-band byte so adjacent fields cannot alias.
+func fingerprintOf(cs []Constraint) uint64 {
+	h := uint64(fnvOffset64)
+	field := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= fnvPrime64
+		}
+		h ^= 0xff
+		h *= fnvPrime64
+	}
+	for _, c := range cs {
+		h ^= uint64(c.Op) + 1
+		h *= fnvPrime64
+		for _, t := range c.Expr.Terms() {
+			field(t.Var)
+			field(t.Coef.Key())
+		}
+		field(c.Expr.ConstTerm().Key())
+	}
+	return h
+}

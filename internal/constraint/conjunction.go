@@ -13,6 +13,12 @@ import (
 // conjunction denotes "true" (all assignments).
 type Conjunction struct {
 	cs []Constraint
+
+	// canon marks cs as being in canonical form (see Canon in canon.go), in
+	// which case fp caches the structural fingerprint. Every constructor
+	// that could perturb the form leaves canon false.
+	canon bool
+	fp    uint64
 }
 
 // And returns the conjunction of the given constraints. Trivially true
@@ -30,12 +36,20 @@ func And(cs ...Constraint) Conjunction {
 }
 
 // True is the empty conjunction (satisfied by every assignment).
-func True() Conjunction { return Conjunction{} }
+func True() Conjunction { return Conjunction{canon: true, fp: fingerprintOf(nil)} }
 
-// False returns a canonical unsatisfiable conjunction (0 < 0).
+// False returns a canonical unsatisfiable conjunction (0 < 0). The sentinel
+// is pre-flagged canonical: Canon and Fingerprint leave it unchanged (its
+// single atom is trivially false, which Canon collapses back to False), and
+// And/With keep it (only trivially *true* atoms are dropped).
 func False() Conjunction {
-	return Conjunction{cs: []Constraint{{Expr: Expr{}, Op: Lt}}}
+	return Conjunction{cs: falseAtoms, canon: true, fp: falseFingerprint}
 }
+
+var (
+	falseAtoms       = []Constraint{{Expr: Expr{}, Op: Lt}}
+	falseFingerprint = fingerprintOf(falseAtoms)
+)
 
 // With returns j extended with additional constraints.
 func (j Conjunction) With(cs ...Constraint) Conjunction {
@@ -128,16 +142,38 @@ func (j Conjunction) Rename(old, new string) Conjunction {
 
 // IsSatisfiable reports whether some rational assignment satisfies j.
 // Decided exactly by Fourier-Motzkin elimination (complete for linear
-// rational arithmetic / dense orders).
+// rational arithmetic / dense orders). Every call runs the eliminator from
+// scratch; hot paths that re-ask the same questions should go through a
+// SatCache (engine.go) or thread a SatFunc into the *With variants.
 func (j Conjunction) IsSatisfiable() bool {
 	return satisfiable(j.cs)
+}
+
+// SatFunc decides satisfiability of a conjunction. It is how the memoized
+// engine (a SatCache, typically owned by an exec.Context) is threaded into
+// the decision procedures below: a nil SatFunc means "raw Fourier-Motzkin".
+type SatFunc func(Conjunction) bool
+
+// SatisfiableWith is IsSatisfiable through sat (nil = raw Fourier-Motzkin).
+func (j Conjunction) SatisfiableWith(sat SatFunc) bool {
+	if sat == nil {
+		return j.IsSatisfiable()
+	}
+	return sat(j)
 }
 
 // Entails reports whether every assignment satisfying j also satisfies c,
 // i.e. j ∧ ¬c is unsatisfiable (for every disjunct of ¬c).
 func (j Conjunction) Entails(c Constraint) bool {
+	return j.EntailsWith(c, nil)
+}
+
+// EntailsWith is Entails with the satisfiability sub-queries routed through
+// sat (nil = raw Fourier-Motzkin).
+func (j Conjunction) EntailsWith(c Constraint, sat SatFunc) bool {
 	for _, neg := range c.Complement() {
-		if satisfiable(append(append([]Constraint{}, j.cs...), neg)) {
+		q := Conjunction{cs: append(append([]Constraint{}, j.cs...), neg)}
+		if q.SatisfiableWith(sat) {
 			return false
 		}
 	}
@@ -169,7 +205,14 @@ func (j Conjunction) Equivalent(k Conjunction) bool {
 // redundant constraints removed. A constraint is redundant if the remaining
 // constraints entail it. Unsatisfiable conjunctions simplify to False().
 func (j Conjunction) Simplify() Conjunction {
-	if !j.IsSatisfiable() {
+	return j.SimplifyWith(nil)
+}
+
+// SimplifyWith is Simplify with every satisfiability decision (the initial
+// check and the entailment sub-queries of the redundancy pass) routed
+// through sat (nil = raw Fourier-Motzkin).
+func (j Conjunction) SimplifyWith(sat SatFunc) Conjunction {
+	if !j.SatisfiableWith(sat) {
 		return False()
 	}
 	// Cheap pass: canonical-key dedup.
@@ -190,7 +233,7 @@ func (j Conjunction) Simplify() Conjunction {
 	out := append([]Constraint{}, uniq...)
 	for i := 0; i < len(out); {
 		rest := Conjunction{cs: append(append([]Constraint{}, out[:i]...), out[i+1:]...)}
-		if rest.Entails(out[i]) {
+		if rest.EntailsWith(out[i], sat) {
 			out = append(out[:i], out[i+1:]...)
 		} else {
 			i++

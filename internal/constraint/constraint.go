@@ -157,30 +157,11 @@ func (c Constraint) Rename(old, new string) Constraint {
 // HasVar reports whether variable v occurs in c.
 func (c Constraint) HasVar(v string) bool { return c.Expr.HasVar(v) }
 
-// canonical returns c scaled so that its first (lexicographically smallest)
-// variable coefficient has absolute value 1; for equalities the sign is also
-// normalised to +1. Trivial constraints are returned unchanged. Two
-// constraints denote the same half-space / hyperplane iff their canonical
-// forms are Equal (modulo Eq sign, handled here).
-func (c Constraint) canonical() Constraint {
-	ts := c.Expr.Terms()
-	if len(ts) == 0 {
-		return c
-	}
-	lead := ts[0].Coef
-	var k rational.Rat
-	if c.Op == Eq {
-		k = lead.Inv() // may flip sign: fine for equalities
-	} else {
-		k = lead.Abs().Inv() // positive scale only: preserves inequality direction
-	}
-	return Constraint{Expr: c.Expr.Scale(k), Op: c.Op}
-}
-
 // Key returns a canonical string key: equal keys imply identical constraint
-// semantics (for the same Op family).
+// semantics (for the same Op family). The canonicalisation is Canonical
+// (see canon.go).
 func (c Constraint) Key() string {
-	cc := c.canonical()
+	cc := c.Canonical()
 	return cc.Op.String() + "|" + cc.Expr.String()
 }
 

@@ -23,13 +23,21 @@ type Disjunction []Conjunction
 // with each ¬ci itself a disjunction of at most two atomic constraints
 // (two for equalities). Unsatisfiable disjuncts are pruned eagerly.
 func ComplementInto(base Conjunction, j Conjunction) Disjunction {
-	return complementInto(base, j, false)
+	return complementInto(base, j, false, nil)
+}
+
+// ComplementIntoWith is ComplementInto with the eager pruning's
+// satisfiability decisions routed through sat (nil = raw Fourier-Motzkin).
+// The pruning is the dominant cost of the difference operator, which is why
+// it is the main consumer of the memoized engine.
+func ComplementIntoWith(base Conjunction, j Conjunction, sat SatFunc) Disjunction {
+	return complementInto(base, j, false, sat)
 }
 
 // complementInto implements ComplementInto; lazyPrune skips the eager
 // satisfiability pruning (DESIGN.md ablation; production always prunes).
-func complementInto(base Conjunction, j Conjunction, lazyPrune bool) Disjunction {
-	if !lazyPrune && !base.IsSatisfiable() {
+func complementInto(base Conjunction, j Conjunction, lazyPrune bool, sat SatFunc) Disjunction {
+	if !lazyPrune && !base.SatisfiableWith(sat) {
 		return nil
 	}
 	cs := j.Constraints()
@@ -38,12 +46,12 @@ func complementInto(base Conjunction, j Conjunction, lazyPrune bool) Disjunction
 	for _, c := range cs {
 		for _, neg := range c.Complement() {
 			cand := prefix.With(neg)
-			if lazyPrune || cand.IsSatisfiable() {
+			if lazyPrune || cand.SatisfiableWith(sat) {
 				out = append(out, cand)
 			}
 		}
 		prefix = prefix.With(c)
-		if !lazyPrune && !prefix.IsSatisfiable() {
+		if !lazyPrune && !prefix.SatisfiableWith(sat) {
 			// base already entails ¬(remaining prefix); nothing further to
 			// subtract from.
 			break
@@ -63,18 +71,24 @@ func Subtract(j, k Conjunction) Disjunction {
 // consumers must filter. It exists only for the DESIGN.md ablation
 // benchmark; production paths always prune eagerly.
 func SubtractLazy(j, k Conjunction) Disjunction {
-	return complementInto(j, k, true)
+	return complementInto(j, k, true, nil)
 }
 
 // SubtractAll returns j minus every conjunction in ks. The result is a
 // disjunction of satisfiable conjunctions covering exactly the assignments
 // in j and in none of the ks.
 func SubtractAll(j Conjunction, ks []Conjunction) Disjunction {
+	return SubtractAllWith(j, ks, nil)
+}
+
+// SubtractAllWith is SubtractAll with every satisfiability decision routed
+// through sat (nil = raw Fourier-Motzkin).
+func SubtractAllWith(j Conjunction, ks []Conjunction, sat SatFunc) Disjunction {
 	work := Disjunction{j}
 	for _, k := range ks {
 		var next Disjunction
 		for _, piece := range work {
-			next = append(next, Subtract(piece, k)...)
+			next = append(next, ComplementIntoWith(piece, k, sat)...)
 		}
 		work = next
 		if len(work) == 0 {

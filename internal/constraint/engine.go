@@ -1,0 +1,231 @@
+package constraint
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// This file implements the memoized satisfiability engine: a sharded,
+// mutex-guarded, bounded-LRU cache of satisfiability decisions keyed by the
+// canonical-form fingerprint (canon.go). It is the CQA/CDB answer to the
+// cost profile of re-proving the same satisfiability questions on every
+// operator invocation: the closure principle makes every operator emit
+// finite sets of constraint tuples, and across a query plan (or a repeated
+// workload) the same conjunctions recur constantly — joins re-check the
+// same merged parts, difference re-checks the same staircase disjuncts,
+// normalisation re-checks operator outputs.
+//
+// Concurrency: the cache is safe for concurrent use from the exec worker
+// pool. Lookups and inserts take only a per-shard mutex; the Fourier-
+// Motzkin run for a miss happens outside any lock, so parallel workers
+// never serialise on the eliminator. Two workers racing on the same miss
+// both compute (identical, side-effect-free results) and both store —
+// idempotent, and cheaper than holding a lock across elimination.
+//
+// Exactness: entries are keyed by fingerprint but store the interned
+// canonical atoms, and every hit verifies them with EqualCanonical. A
+// fingerprint collision therefore can never return a wrong answer — it is
+// counted and treated as a miss (the colliding entry is replaced).
+
+// DefaultSatCacheSize is the entry bound used when NewSatCache is given a
+// non-positive capacity.
+const DefaultSatCacheSize = 4096
+
+const satCacheShards = 16 // power of two; shard = fingerprint low bits
+
+// SatCache is a bounded, sharded LRU memo of satisfiability decisions.
+// The zero value is not usable; construct with NewSatCache.
+type SatCache struct {
+	shards [satCacheShards]satShard
+
+	hits       atomic.Int64
+	misses     atomic.Int64
+	evictions  atomic.Int64
+	collisions atomic.Int64
+}
+
+type satShard struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[uint64]*satEntry
+	// Intrusive LRU list: front = most recent.
+	front, back *satEntry
+}
+
+// satEntry is one memoized decision; cs holds the interned canonical atoms
+// for exact verification on fingerprint hits.
+type satEntry struct {
+	fp         uint64
+	cs         []Constraint
+	sat        bool
+	prev, next *satEntry
+}
+
+// NewSatCache returns a cache bounded to roughly capacity entries
+// (non-positive = DefaultSatCacheSize), spread over the shards.
+func NewSatCache(capacity int) *SatCache {
+	if capacity <= 0 {
+		capacity = DefaultSatCacheSize
+	}
+	per := capacity / satCacheShards
+	if per < 1 {
+		per = 1
+	}
+	c := &SatCache{}
+	for i := range c.shards {
+		c.shards[i].cap = per
+		c.shards[i].entries = make(map[uint64]*satEntry, per)
+	}
+	return c
+}
+
+// Satisfiable decides j through the memo: canonicalise, look up the
+// fingerprint, and only on a miss run the Fourier-Motzkin eliminator. The
+// second result reports whether the answer came from the cache.
+func (c *SatCache) Satisfiable(j Conjunction) (sat, hit bool) {
+	cj := j.Canon()
+	s := &c.shards[cj.fp&(satCacheShards-1)]
+
+	s.mu.Lock()
+	if e, ok := s.entries[cj.fp]; ok {
+		if equalAtoms(e.cs, cj.cs) {
+			s.moveToFront(e)
+			sat = e.sat
+			s.mu.Unlock()
+			c.hits.Add(1)
+			return sat, true
+		}
+		c.collisions.Add(1)
+	}
+	s.mu.Unlock()
+
+	// Miss: decide outside the lock so parallel workers never serialise on
+	// the eliminator, then store. Racing computations of the same question
+	// are idempotent.
+	sat = cj.IsSatisfiable()
+	c.misses.Add(1)
+
+	s.mu.Lock()
+	if e, ok := s.entries[cj.fp]; ok {
+		// Raced insert or collision replacement: refresh in place.
+		e.cs, e.sat = cj.cs, sat
+		s.moveToFront(e)
+	} else {
+		e := &satEntry{fp: cj.fp, cs: cj.cs, sat: sat}
+		s.entries[cj.fp] = e
+		s.pushFront(e)
+		if len(s.entries) > s.cap {
+			victim := s.back
+			s.unlink(victim)
+			delete(s.entries, victim.fp)
+			c.evictions.Add(1)
+		}
+	}
+	s.mu.Unlock()
+	return sat, false
+}
+
+// Func adapts the cache to a SatFunc for the *With decision procedures
+// (EntailsWith, SimplifyWith, SubtractAllWith). A nil receiver yields a nil
+// SatFunc, i.e. raw Fourier-Motzkin.
+func (c *SatCache) Func() SatFunc {
+	if c == nil {
+		return nil
+	}
+	return func(j Conjunction) bool {
+		sat, _ := c.Satisfiable(j)
+		return sat
+	}
+}
+
+// CacheStats is a point-in-time snapshot of a SatCache's counters.
+type CacheStats struct {
+	Hits       int64
+	Misses     int64
+	Evictions  int64
+	Collisions int64 // fingerprint collisions detected (exactness guard)
+	Entries    int   // current resident entries across all shards
+}
+
+// HitRate returns hits / (hits + misses), or 0 before any lookup.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+func (s CacheStats) String() string {
+	return fmt.Sprintf("hits=%d misses=%d (%.1f%% hit rate) evictions=%d collisions=%d entries=%d",
+		s.Hits, s.Misses, 100*s.HitRate(), s.Evictions, s.Collisions, s.Entries)
+}
+
+// Stats returns a snapshot of the cache counters. Nil-safe (zero stats).
+func (c *SatCache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	st := CacheStats{
+		Hits:       c.hits.Load(),
+		Misses:     c.misses.Load(),
+		Evictions:  c.evictions.Load(),
+		Collisions: c.collisions.Load(),
+	}
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		st.Entries += len(s.entries)
+		s.mu.Unlock()
+	}
+	return st
+}
+
+// --- intrusive LRU list (shard mutex held) ---
+
+func (s *satShard) pushFront(e *satEntry) {
+	e.prev, e.next = nil, s.front
+	if s.front != nil {
+		s.front.prev = e
+	}
+	s.front = e
+	if s.back == nil {
+		s.back = e
+	}
+}
+
+func (s *satShard) unlink(e *satEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.front = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.back = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (s *satShard) moveToFront(e *satEntry) {
+	if s.front == e {
+		return
+	}
+	s.unlink(e)
+	s.pushFront(e)
+}
+
+// equalAtoms compares two canonical atom slices structurally.
+func equalAtoms(a, b []Constraint) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Op != b[i].Op || !a[i].Expr.Equal(b[i].Expr) {
+			return false
+		}
+	}
+	return true
+}

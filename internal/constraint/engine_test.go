@@ -1,0 +1,150 @@
+package constraint
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"cdb/internal/rational"
+)
+
+// TestSatCacheAgreesWithRawDecisions checks the only property that matters:
+// the memoized answer is always the raw Fourier-Motzkin answer, queried in
+// any order, hot or cold.
+func TestSatCacheAgreesWithRawDecisions(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cache := NewSatCache(0)
+	var conjs []Conjunction
+	for i := 0; i < 100; i++ {
+		conjs = append(conjs, randConj(rng))
+	}
+	for round := 0; round < 3; round++ {
+		for i, j := range conjs {
+			got, _ := cache.Satisfiable(j)
+			if want := j.IsSatisfiable(); got != want {
+				t.Fatalf("round %d case %d: cache says %v, raw says %v: %s", round, i, got, want, j)
+			}
+		}
+	}
+	st := cache.Stats()
+	if st.Hits == 0 {
+		t.Error("three rounds over the same questions produced no hits")
+	}
+	if st.Hits+st.Misses != int64(3*len(conjs)) {
+		t.Errorf("hits+misses = %d, want %d", st.Hits+st.Misses, 3*len(conjs))
+	}
+}
+
+// TestSatCacheHitsOnEquivalentForms checks that memoization happens at the
+// canonical-form level: rescaled and reordered variants of the same
+// conjunction share one entry.
+func TestSatCacheHitsOnEquivalentForms(t *testing.T) {
+	cache := NewSatCache(64)
+	x, y := Var("x"), Var("y")
+	a := And(
+		Constraint{Expr: x.Add(y).Sub(ConstInt(2)), Op: Le},
+		Constraint{Expr: x.Neg(), Op: Le},
+	)
+	b := And( // same atoms, reordered and rescaled
+		Constraint{Expr: x.Neg().Scale(rational.FromInt(2)), Op: Le},
+		Constraint{Expr: x.Add(y).Sub(ConstInt(2)).Scale(rational.FromInt(3)), Op: Le},
+	)
+	if _, hit := cache.Satisfiable(a); hit {
+		t.Fatal("first lookup hit")
+	}
+	if _, hit := cache.Satisfiable(b); !hit {
+		t.Fatal("equivalent canonical form missed the cache")
+	}
+	if st := cache.Stats(); st.Entries != 1 {
+		t.Fatalf("entries = %d, want 1", st.Entries)
+	}
+}
+
+// TestSatCacheEviction checks the LRU bound: a capacity-16 cache (one entry
+// per shard) holds at most 16 entries and reports evictions.
+func TestSatCacheEviction(t *testing.T) {
+	cache := NewSatCache(16)
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 200; i++ {
+		cache.Satisfiable(randConj(rng))
+	}
+	st := cache.Stats()
+	if st.Entries > 16 {
+		t.Errorf("entries = %d, want <= 16", st.Entries)
+	}
+	if st.Evictions == 0 {
+		t.Error("200 distinct questions through 16 entries produced no evictions")
+	}
+}
+
+// TestSatCacheConcurrent hammers one cache from many goroutines (run under
+// -race by scripts/check.sh) and re-verifies every answer against the raw
+// decision procedure.
+func TestSatCacheConcurrent(t *testing.T) {
+	cache := NewSatCache(128)
+	seed := rand.New(rand.NewSource(9))
+	var conjs []Conjunction
+	var want []bool
+	for i := 0; i < 60; i++ {
+		j := randConj(seed)
+		conjs = append(conjs, j)
+		want = append(want, j.IsSatisfiable())
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			for i := 0; i < 500; i++ {
+				k := rng.Intn(len(conjs))
+				if got, _ := cache.Satisfiable(conjs[k]); got != want[k] {
+					select {
+					case errs <- conjs[k].String():
+					default:
+					}
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	if s, bad := <-errs; bad {
+		t.Fatalf("concurrent cache answer diverged from raw decision on %s", s)
+	}
+}
+
+// TestSatFuncThreading checks the *With plumbing end to end: a counting
+// SatFunc must see every decision that Simplify and SubtractAll make, and
+// the results must match the nil (raw) path exactly.
+func TestSatFuncThreading(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	cache := NewSatCache(0)
+	calls := 0
+	counting := func(j Conjunction) bool {
+		calls++
+		sat, _ := cache.Satisfiable(j)
+		return sat
+	}
+	for i := 0; i < 40; i++ {
+		j, k := randConj(rng), randConj(rng)
+		plain := SubtractAll(j, []Conjunction{k})
+		cached := SubtractAllWith(j, []Conjunction{k}, counting)
+		if len(plain) != len(cached) {
+			t.Fatalf("case %d: SubtractAllWith disagrees: %d vs %d disjuncts", i, len(plain), len(cached))
+		}
+		for d := range plain {
+			if !plain[d].Equivalent(cached[d]) {
+				t.Fatalf("case %d disjunct %d: %s vs %s", i, d, plain[d], cached[d])
+			}
+		}
+		if !j.Simplify().Equivalent(j.SimplifyWith(counting)) {
+			t.Fatalf("case %d: SimplifyWith disagrees", i)
+		}
+	}
+	if calls == 0 {
+		t.Fatal("SatFunc was never consulted")
+	}
+}

@@ -1,6 +1,10 @@
 package constraint
 
-import "cdb/internal/rational"
+import (
+	"sync/atomic"
+
+	"cdb/internal/rational"
+)
 
 // This file implements exact Fourier-Motzkin variable elimination, the
 // workhorse behind:
@@ -154,7 +158,7 @@ func sweepRedundant(cs []Constraint) []Constraint {
 			keep[i] = true
 			continue
 		}
-		cc := c.canonical()
+		cc := c.Canonical()
 		varPart := Expr{terms: cc.Expr.terms}
 		key := varPart.String()
 		prev, ok := groups[key]
@@ -163,7 +167,7 @@ func sweepRedundant(cs []Constraint) []Constraint {
 			keep[i] = true
 			continue
 		}
-		p := cs[prev.idx].canonical()
+		p := cs[prev.idx].Canonical()
 		// Same variable part: compare constants. varPart + c <= 0 is tighter
 		// when c is larger.
 		pc, nc := p.Expr.ConstTerm(), cc.Expr.ConstTerm()
@@ -183,9 +187,20 @@ func sweepRedundant(cs []Constraint) []Constraint {
 	return out
 }
 
+// decisions counts raw satisfiability runs of the Fourier-Motzkin
+// eliminator, process-wide. It is what the sat-cache saves: cdbbench's
+// canon experiment reads the delta with the cache on vs off on the same
+// workload.
+var decisions atomic.Int64
+
+// DecisionCount returns the number of raw Fourier-Motzkin satisfiability
+// decisions made by this process so far. Monotonic; read deltas.
+func DecisionCount() int64 { return decisions.Load() }
+
 // satisfiable decides satisfiability of a conjunction of constraints by
 // eliminating every variable and checking the residual trivial constraints.
 func satisfiable(cs []Constraint) bool {
+	decisions.Add(1)
 	// Collect variables.
 	varSet := map[string]bool{}
 	for _, c := range cs {

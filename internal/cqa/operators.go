@@ -16,6 +16,18 @@ import (
 // and records per-operator statistics on ec; results are merged in input
 // index order, so the output is byte-identical to the sequential path.
 // A nil context is valid and means sequential execution with no stats.
+//
+// Two cross-cutting invariants of every operator:
+//
+//   - canonical output: every emitted tuple has its constraint part in
+//     canonical form (constraint.Conjunction.Canon), whatever the form of
+//     the inputs;
+//   - memoized decisions: every satisfiability decision goes through the
+//     operator's recorder (exec.OpRecorder.Satisfiable), so a sat-cache
+//     configured on ec is consulted and the hit/miss counts land in the
+//     per-operator statistics. With no context or no cache the decisions
+//     fall back to the raw Fourier-Motzkin eliminator, and the output is
+//     byte-identical either way.
 
 // Select returns ς_cond(r): the tuples of r restricted to the condition.
 // Per the heterogeneous semantics, conditions over constraint attributes
@@ -59,7 +71,7 @@ func SelectCtx(ec *exec.Context, r *relation.Relation, cond Condition) (*relatio
 	out := relation.New(r.Schema())
 	for _, variants := range variantLists {
 		for _, v := range variants {
-			if err := out.Add(v); err != nil {
+			if err := out.Add(v.Canon()); err != nil {
 				return nil, err
 			}
 		}
@@ -99,10 +111,8 @@ func ProjectCtx(ec *exec.Context, r *relation.Relation, cols ...string) (*relati
 	tuples := r.Tuples()
 	results, err := exec.Map(ec, len(tuples), func(i int) (*relation.Tuple, error) {
 		t := tuples[i]
-		con := t.Constraint().Eliminate(dropCon...)
-		sat := con.IsSatisfiable()
-		rec.SatCheck(sat)
-		if !sat {
+		con := t.Constraint().Eliminate(dropCon...).Canon()
+		if !rec.Satisfiable(con) {
 			return nil, nil
 		}
 		rvals := map[string]relation.Value{}
@@ -186,10 +196,8 @@ func joinCtx(ec *exec.Context, op string, r1, r2 *relation.Relation) (*relation.
 				return nil, nil
 			}
 		}
-		con := t1.Constraint().Merge(t2.Constraint())
-		sat := con.IsSatisfiable()
-		rec.SatCheck(sat)
-		if !sat {
+		con := t1.Constraint().Merge(t2.Constraint()).Canon()
+		if !rec.Satisfiable(con) {
 			return nil, nil
 		}
 		rvals := t1.RVals()
@@ -236,9 +244,9 @@ func Union(r1, r2 *relation.Relation) (*relation.Relation, error) {
 	return UnionCtx(nil, r1, r2)
 }
 
-// UnionCtx is Union under an execution context. Union does no per-tuple
-// satisfiability work, so it always runs sequentially; the context only
-// records its stats.
+// UnionCtx is Union under an execution context. Union fans out no per-tuple
+// work, so it always runs sequentially; the context records its stats and
+// supplies the memoized decisions for the final normalisation pass.
 func UnionCtx(ec *exec.Context, r1, r2 *relation.Relation) (*relation.Relation, error) {
 	if !r1.Schema().Equal(r2.Schema()) {
 		return nil, fmt.Errorf("cqa: union requires equal schemas: %s vs %s", r1.Schema(), r2.Schema())
@@ -255,7 +263,7 @@ func UnionCtx(ec *exec.Context, r1, r2 *relation.Relation) (*relation.Relation, 
 			return nil, err
 		}
 	}
-	norm := out.Normalize()
+	norm := out.NormalizeWith(rec.SatFunc())
 	rec.AddOut(norm.Len())
 	rec.Done(false)
 	return norm, nil
@@ -286,7 +294,7 @@ func RenameCtx(ec *exec.Context, r *relation.Relation, old, new string) (*relati
 				rvals[name] = v
 			}
 		}
-		if err := out.Add(relation.NewTuple(rvals, t.Constraint().Rename(old, new))); err != nil {
+		if err := out.Add(relation.NewTuple(rvals, t.Constraint().Rename(old, new).Canon())); err != nil {
 			return nil, err
 		}
 	}
@@ -325,15 +333,13 @@ func DifferenceCtx(ec *exec.Context, r1, r2 *relation.Relation) (*relation.Relat
 				subtrahends = append(subtrahends, t2.Constraint())
 			}
 		}
-		pieces := constraint.SubtractAll(t1.Constraint(), subtrahends)
-		var keepPieces []relation.Tuple
+		// The staircase expansion prunes eagerly, so every returned piece is
+		// already proven satisfiable; routing its internal decisions through
+		// the recorder both memoizes them and surfaces them in the stats.
+		pieces := constraint.SubtractAllWith(t1.Constraint(), subtrahends, rec.SatFunc())
+		keepPieces := make([]relation.Tuple, 0, len(pieces))
 		for _, con := range pieces {
-			sat := con.IsSatisfiable()
-			rec.SatCheck(sat)
-			if !sat {
-				continue
-			}
-			keepPieces = append(keepPieces, relation.NewTuple(t1.RVals(), con))
+			keepPieces = append(keepPieces, relation.NewTuple(t1.RVals(), con.Canon()))
 		}
 		return keepPieces, nil
 	})

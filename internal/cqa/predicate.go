@@ -272,10 +272,9 @@ func evalAtom(a Atom, s schema.Schema, t relation.Tuple, rec *exec.OpRecorder) (
 }
 
 func keepIfSat(t relation.Tuple, rec *exec.OpRecorder) []relation.Tuple {
-	sat := t.IsSatisfiable()
-	rec.SatCheck(sat)
-	if sat {
-		return []relation.Tuple{t}
+	ct := t.Canon()
+	if rec.Satisfiable(ct.Constraint()) {
+		return []relation.Tuple{ct}
 	}
 	return nil
 }

@@ -109,8 +109,10 @@ func (d *Database) RunCtx(src string, ec *exec.Context) (*relation.Relation, err
 		return nil, err
 	}
 	// User-facing results are normalised: unsatisfiable tuples dropped,
-	// constraint parts simplified, duplicates removed. Semantics unchanged.
-	return out.Normalize(), nil
+	// constraint parts simplified into canonical form, duplicates removed.
+	// Semantics unchanged; the context's sat-cache (if any) memoizes the
+	// decisions.
+	return out.NormalizeWith(ec.SatFunc()), nil
 }
 
 // --- text serialisation ---
@@ -337,7 +339,8 @@ func parseTuple(src string, s schema.Schema) (relation.Tuple, error) {
 		}
 		con = constraint.And(cs...)
 	}
-	return relation.NewTuple(rvals, con), nil
+	// Loaded tuples enter the system canonical, like every operator output.
+	return relation.NewTuple(rvals, con).Canon(), nil
 }
 
 // splitTopLevel splits on commas that are not inside quotes.

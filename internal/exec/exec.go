@@ -22,6 +22,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"cdb/internal/constraint"
 )
 
 // DefaultSeqThreshold is the input size below which Map runs inline on
@@ -49,6 +51,13 @@ type Context struct {
 	// run sequentially. Zero or negative means DefaultSeqThreshold; set
 	// it to 1 to parallelise everything.
 	SeqThreshold int
+
+	// SatCache, when non-nil, memoizes the satisfiability decisions that
+	// operators route through this context (see OpRecorder.Satisfiable and
+	// SatFunc), keyed by canonical-form fingerprint. It is safe under the
+	// worker pool and may be shared across contexts and queries. Nil means
+	// every decision runs the raw Fourier-Motzkin eliminator.
+	SatCache *constraint.SatCache
 
 	mu  sync.Mutex
 	ops []OpStats
@@ -79,6 +88,29 @@ func (c *Context) threshold() int {
 // worker pool (rather than run inline).
 func (c *Context) ParallelFor(n int) bool {
 	return c != nil && c.Workers() > 1 && n >= c.threshold()
+}
+
+// Satisfiable decides j through the context's sat-cache when one is
+// configured (the second result reports a cache hit); otherwise — including
+// on the nil Context — it runs the raw decision procedure. Operator code
+// should prefer OpRecorder.Satisfiable, which also records the decision in
+// the per-operator statistics.
+func (c *Context) Satisfiable(j constraint.Conjunction) (sat, hit bool) {
+	if c == nil || c.SatCache == nil {
+		return j.IsSatisfiable(), false
+	}
+	return c.SatCache.Satisfiable(j)
+}
+
+// SatFunc returns the context's memoized decision function for threading
+// into constraint.*With procedures (SimplifyWith, SubtractAllWith, ...).
+// Nil — meaning raw Fourier-Motzkin — on the nil Context or when no
+// SatCache is configured.
+func (c *Context) SatFunc() constraint.SatFunc {
+	if c == nil {
+		return nil
+	}
+	return c.SatCache.Func()
 }
 
 // Map runs fn(i) for every i in [0, n) and returns the results in index

@@ -6,6 +6,8 @@ import (
 	"sync/atomic"
 	"text/tabwriter"
 	"time"
+
+	"cdb/internal/constraint"
 )
 
 // OpStats is one operator invocation's execution record.
@@ -15,6 +17,8 @@ type OpStats struct {
 	TuplesOut   int64         // output tuples
 	SatChecks   int64         // satisfiability decisions made
 	PrunedUnsat int64         // candidates discarded as unsatisfiable
+	CacheHits   int64         // sat decisions answered by the memoized engine
+	CacheMisses int64         // sat decisions that ran the raw eliminator (cache enabled)
 	Wall        time.Duration // wall time of the operator
 	Parallel    bool          // whether the worker pool was used
 }
@@ -24,13 +28,15 @@ type OpStats struct {
 // every method is a no-op on the nil receiver, so operators record
 // unconditionally whether or not a Context is present.
 type OpRecorder struct {
-	c         *Context
-	op        string
-	tuplesIn  int64
-	start     time.Time
-	satChecks atomic.Int64
-	pruned    atomic.Int64
-	tuplesOut atomic.Int64
+	c           *Context
+	op          string
+	tuplesIn    int64
+	start       time.Time
+	satChecks   atomic.Int64
+	pruned      atomic.Int64
+	tuplesOut   atomic.Int64
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
 }
 
 // StartOp opens a recorder for one operator invocation. Returns nil (a
@@ -54,6 +60,41 @@ func (r *OpRecorder) SatCheck(sat bool) {
 	}
 }
 
+// Satisfiable decides j through the context's memoized engine (falling back
+// to the raw eliminator when no cache is configured, or on the nil
+// recorder) and records the decision: one sat-check, one pruned candidate if
+// unsatisfiable, and — when the cache is enabled — one hit or miss. This is
+// the decision entry point the CQA operators use.
+func (r *OpRecorder) Satisfiable(j constraint.Conjunction) bool {
+	if r == nil {
+		return j.IsSatisfiable()
+	}
+	sat, hit := r.c.Satisfiable(j)
+	r.satChecks.Add(1)
+	if !sat {
+		r.pruned.Add(1)
+	}
+	if r.c.SatCache != nil {
+		if hit {
+			r.cacheHits.Add(1)
+		} else {
+			r.cacheMisses.Add(1)
+		}
+	}
+	return sat
+}
+
+// SatFunc adapts the recorder to a constraint.SatFunc so decision
+// procedures threaded through the constraint package (SubtractAllWith,
+// SimplifyWith) both consult the memoized engine and show up in the
+// operator's statistics. The nil recorder yields nil (raw Fourier-Motzkin).
+func (r *OpRecorder) SatFunc() constraint.SatFunc {
+	if r == nil {
+		return nil
+	}
+	return r.Satisfiable
+}
+
 // AddOut records n output tuples.
 func (r *OpRecorder) AddOut(n int) {
 	if r == nil {
@@ -74,6 +115,8 @@ func (r *OpRecorder) Done(parallel bool) {
 		TuplesOut:   r.tuplesOut.Load(),
 		SatChecks:   r.satChecks.Load(),
 		PrunedUnsat: r.pruned.Load(),
+		CacheHits:   r.cacheHits.Load(),
+		CacheMisses: r.cacheMisses.Load(),
 		Wall:        time.Since(r.start),
 		Parallel:    parallel,
 	}
@@ -121,6 +164,8 @@ func (c *Context) Summary() []OpStats {
 		out[i].TuplesOut += s.TuplesOut
 		out[i].SatChecks += s.SatChecks
 		out[i].PrunedUnsat += s.PrunedUnsat
+		out[i].CacheHits += s.CacheHits
+		out[i].CacheMisses += s.CacheMisses
 		out[i].Wall += s.Wall
 		out[i].Parallel = out[i].Parallel || s.Parallel
 	}
@@ -132,14 +177,15 @@ func (c *Context) Summary() []OpStats {
 func FormatStats(stats []OpStats) string {
 	var b strings.Builder
 	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
-	fmt.Fprintln(w, "operator\tin\tout\tsat-checks\tpruned\twall\tmode")
+	fmt.Fprintln(w, "operator\tin\tout\tsat-checks\tpruned\tcache-hit\tcache-miss\twall\tmode")
 	for _, s := range stats {
 		mode := "seq"
 		if s.Parallel {
 			mode = "par"
 		}
-		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%s\t%s\n",
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%s\t%s\n",
 			s.Op, s.TuplesIn, s.TuplesOut, s.SatChecks, s.PrunedUnsat,
+			s.CacheHits, s.CacheMisses,
 			s.Wall.Round(time.Microsecond), mode)
 	}
 	w.Flush()

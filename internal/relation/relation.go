@@ -3,6 +3,7 @@ package relation
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"cdb/internal/constraint"
@@ -84,6 +85,14 @@ func (t Tuple) AndConstraints(cs ...constraint.Constraint) Tuple {
 // IsSatisfiable reports whether the constraint part admits a solution.
 func (t Tuple) IsSatisfiable() bool { return t.con.IsSatisfiable() }
 
+// Canon returns t with its constraint part in canonical form (see
+// constraint.Conjunction.Canon). Every CQA operator emits canonical tuples;
+// Canon is how the invariant is (re-)established at the boundaries — load,
+// ad-hoc construction.
+func (t Tuple) Canon() Tuple {
+	return Tuple{rvals: t.rvals, con: t.con.Canon()}
+}
+
 // relationalKey is a canonical key of the relational part (used for
 // difference matching and deduplication).
 func (t Tuple) relationalKey() string {
@@ -102,10 +111,13 @@ func (t Tuple) relationalKey() string {
 	return b.String()
 }
 
-// Key returns a canonical syntactic key for the whole tuple. Equal keys
-// imply equivalent tuples (the converse does not hold).
+// Key returns a canonical syntactic key for the whole tuple: the relational
+// part followed by the hex fingerprint of the constraint part's canonical
+// form. Equal keys imply equivalent tuples up to fingerprint collision
+// (~2^-64); code that must be exact (Normalize's dedup) verifies key matches
+// with constraint.Conjunction.EqualCanonical.
 func (t Tuple) Key() string {
-	return t.relationalKey() + "|" + t.con.Key()
+	return t.relationalKey() + "|" + strconv.FormatUint(t.con.Fingerprint(), 16)
 }
 
 // SameRelationalPart reports whether t and o have identical relational
@@ -217,21 +229,39 @@ func (r *Relation) Clone() *Relation {
 	return &Relation{schema: r.schema, tuples: append([]Tuple{}, r.tuples...)}
 }
 
-// Normalize removes unsatisfiable tuples, simplifies constraint parts, and
-// deduplicates syntactically identical tuples. The semantics is unchanged.
+// Normalize removes unsatisfiable tuples, simplifies constraint parts into
+// canonical form, and deduplicates canonically identical tuples. The
+// semantics is unchanged.
 func (r *Relation) Normalize() *Relation {
+	return r.NormalizeWith(nil)
+}
+
+// NormalizeWith is Normalize with every satisfiability decision routed
+// through sat (nil = raw Fourier-Motzkin); pass exec.Context.SatFunc to
+// memoize the decisions. Deduplication is keyed by (relational part,
+// constraint fingerprint) and verified exactly with EqualCanonical on key
+// matches, so a fingerprint collision can never merge distinct tuples.
+func (r *Relation) NormalizeWith(sat constraint.SatFunc) *Relation {
 	out := New(r.schema)
-	seen := map[string]bool{}
+	seen := map[string][]int{} // tuple key -> indexes into out.tuples
 	for _, t := range r.tuples {
-		if !t.IsSatisfiable() {
+		if !t.con.SatisfiableWith(sat) {
 			continue
 		}
-		nt := t.WithConstraint(t.con.Simplify())
+		nt := t.WithConstraint(t.con.SimplifyWith(sat).Canon())
 		k := nt.Key()
-		if seen[k] {
+		dup := false
+		for _, i := range seen[k] {
+			if out.tuples[i].SameRelationalPart(nt) &&
+				out.tuples[i].con.EqualCanonical(nt.con) {
+				dup = true
+				break
+			}
+		}
+		if dup {
 			continue
 		}
-		seen[k] = true
+		seen[k] = append(seen[k], len(out.tuples))
 		out.tuples = append(out.tuples, nt)
 	}
 	return out
@@ -303,17 +333,39 @@ func (r *Relation) Equivalent(o *Relation) bool {
 // covers reports whether every point of a is a point of b.
 func covers(a, b *Relation) bool {
 	groupsB := map[string][]constraint.Conjunction{}
+	fpB := map[string]map[uint64]bool{} // relationalKey -> cover fingerprints
 	for _, t := range b.tuples {
 		if !t.IsSatisfiable() {
 			continue
 		}
-		groupsB[t.relationalKey()] = append(groupsB[t.relationalKey()], t.con)
+		rk := t.relationalKey()
+		groupsB[rk] = append(groupsB[rk], t.con)
+		if fpB[rk] == nil {
+			fpB[rk] = map[uint64]bool{}
+		}
+		fpB[rk][t.con.Fingerprint()] = true
 	}
 	for _, t := range a.tuples {
 		if !t.IsSatisfiable() {
 			continue
 		}
-		cover := groupsB[t.relationalKey()]
+		rk := t.relationalKey()
+		cover := groupsB[rk]
+		// Fast path: a canonically identical cover tuple covers t outright,
+		// skipping the (expensive) staircase subtraction. The fingerprint
+		// probe is advisory; the EqualCanonical verification is exact.
+		if fpB[rk][t.con.Fingerprint()] {
+			covered := false
+			for _, c := range cover {
+				if c.EqualCanonical(t.con) {
+					covered = true
+					break
+				}
+			}
+			if covered {
+				continue
+			}
+		}
 		// t.con minus the union of covers must be empty.
 		if constraint.SubtractAll(t.con, cover).IsSatisfiable() {
 			return false
@@ -322,11 +374,18 @@ func covers(a, b *Relation) bool {
 	return true
 }
 
-// Sorted returns the tuples sorted by canonical key (deterministic output
-// for printing and tests).
+// Sorted returns the tuples in a deterministic display order: by relational
+// part, then by the rendered constraint part. (Not by Key — hash order would
+// be stable but human-hostile in printed and saved output.)
 func (r *Relation) Sorted() []Tuple {
 	out := append([]Tuple{}, r.tuples...)
-	sort.Slice(out, func(i, j int) bool { return out[i].Key() < out[j].Key() })
+	sort.Slice(out, func(i, j int) bool {
+		ki, kj := out[i].relationalKey(), out[j].relationalKey()
+		if ki != kj {
+			return ki < kj
+		}
+		return out[i].con.String() < out[j].con.String()
+	})
 	return out
 }
 

@@ -1,7 +1,8 @@
 #!/bin/sh
 # Full local gate: vet plus the race-enabled test suite. The race run is
 # what protects the parallel execution layer (internal/exec and the *Ctx
-# operators in internal/cqa) — run it before sending any change that
+# operators in internal/cqa) and the sharded sat-cache
+# (internal/constraint SatCache) — run it before sending any change that
 # touches them.
 set -eu
 cd "$(dirname "$0")/.."
@@ -10,4 +11,10 @@ echo '>> go vet ./...'
 go vet ./...
 echo '>> go test -race ./...'
 go test -race ./...
+
+# A focused second pass over the canonical-kernel packages with a higher
+# -count: the sat-cache and the *Ctx operators are where fresh races
+# would live, and repetition shakes out scheduling-dependent ones cheaply.
+echo '>> go test -race -count=2 ./internal/constraint ./internal/exec ./internal/cqa ./internal/relation'
+go test -race -count=2 ./internal/constraint ./internal/exec ./internal/cqa ./internal/relation
 echo 'OK'
