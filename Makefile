@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-parallel bench-canon
+.PHONY: build test check bench bench-parallel bench-canon obs-demo
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,13 @@ bench:
 
 bench-parallel:
 	$(GO) test -bench Parallel -benchtime 5x .
+
+# EXPLAIN ANALYZE demo: the hurricane case study with the span tree and
+# the per-operator stats table. Add -metrics-addr 127.0.0.1:9190 to poke
+# /metrics and /debug/pprof/ while a session runs.
+obs-demo:
+	$(GO) run ./cmd/cqacdb -demo hurricane -par 4 -explain -stats \
+		-e "$$(printf 'R0 = join Landownership and Land\nR1 = select t >= 4, t <= 9 from R0\nR2 = project R1 on name')"
 
 # Measures what the canonical-form sat-cache saves: raw Fourier-Motzkin
 # decision counts and wall time, cold vs warm, on the cqa operator

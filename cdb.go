@@ -18,7 +18,10 @@
 //     feature layers and spatial constraint relations;
 //   - the index layer: R*-trees with joint vs. separate strategies and
 //     disk-access accounting;
-//   - the experiment harness reproducing the paper's Figures 4-5.
+//   - the experiment harness reproducing the paper's Figures 4-5;
+//   - the observability layer: query tracing with EXPLAIN ANALYZE-style
+//     rendering (Tracer, ExplainTree), metrics with Prometheus/expvar
+//     exposition (MetricsRegistry, ServeMetrics).
 //
 // A minimal end-to-end example:
 //
@@ -43,6 +46,7 @@ import (
 	"cdb/internal/geometry"
 	"cdb/internal/indefinite"
 	"cdb/internal/nested"
+	"cdb/internal/obs"
 	"cdb/internal/query"
 	"cdb/internal/rational"
 	"cdb/internal/relation"
@@ -221,6 +225,53 @@ func SatDecisionCount() int64 { return constraint.DecisionCount() }
 
 // FormatStats renders operator records as an aligned table.
 func FormatStats(stats []OpStats) string { return exec.FormatStats(stats) }
+
+// --- observability (package obs) ---
+
+// Tracer collects hierarchical query execution spans. Set it on
+// ExecContext.Tracer and every plan node, calculus rule, database
+// load/save and pool fan-out records a span; render the result with
+// ExplainTree or serialise it with TraceJSON. All tracing APIs are
+// nil-safe: a nil Tracer (the default) costs a nil check.
+type Tracer = obs.Tracer
+
+// Span is one traced region: named, timed, parent-linked, carrying
+// named int64 counters (tuples in/out, sat checks, cache hits, ...).
+type Span = obs.Span
+
+// NewTracer returns an empty tracer.
+func NewTracer() *Tracer { return obs.NewTracer() }
+
+// ExplainTreeOptions tune ExplainTree rendering.
+type ExplainTreeOptions = obs.TreeOptions
+
+// ExplainTree renders finished spans as an EXPLAIN ANALYZE-style plan
+// tree (what `cqacdb -explain` prints).
+func ExplainTree(roots []*Span, opt ExplainTreeOptions) string {
+	return obs.FormatTree(roots, opt)
+}
+
+// TraceJSON serialises finished spans as a JSON tree.
+func TraceJSON(roots []*Span) ([]byte, error) { return obs.TraceJSON(roots) }
+
+// MetricsRegistry is a registry of counters, gauges and histograms with
+// Prometheus text and expvar exposition. Install it on an ExecContext
+// with InstallMetrics to collect per-operator, sat-cache and FM-decision
+// metrics.
+type MetricsRegistry = obs.Registry
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// MetricsServer is a live observability HTTP listener.
+type MetricsServer = obs.Server
+
+// ServeMetrics starts an HTTP listener serving /metrics (Prometheus
+// text format), /debug/vars (expvar) and /debug/pprof/... for the
+// registry. Close the returned server to stop it.
+func ServeMetrics(addr string, reg *MetricsRegistry) (*MetricsServer, error) {
+	return obs.ServeMetrics(addr, reg)
+}
 
 // SelectCtx, ProjectCtx, JoinCtx, IntersectCtx, UnionCtx, RenameCtx,
 // DifferenceCtx are the CQA operators under an execution context: the

@@ -22,7 +22,8 @@
 // execution layer (-par workers, 0 = GOMAXPROCS; -cqasize tuples per
 // side), and reports per-operator speedups; -stats adds the per-operator
 // execution table (tuples in/out, satisfiability checks, pruned-unsat
-// count, sat-cache hits/misses, wall time).
+// count, sat-cache hits/misses, wall time); -json writes the timings and
+// the parallel run's per-operator stats as a JSON object.
 //
 // The canon experiment runs the same operator workload -rounds times, cold
 // (no sat-cache) and warm (one -sat-cache shared across rounds), and
@@ -69,7 +70,7 @@ func run(args []string) error {
 	stats := fs.Bool("stats", false, "cqa/canon experiments: print the per-operator execution table")
 	rounds := fs.Int("rounds", 3, "canon experiment: times to repeat the workload")
 	satCache := fs.Int("sat-cache", 32768, "canon experiment: warm-run sat-cache size in entries")
-	jsonPath := fs.String("json", "", "canon experiment: write the measurements to this JSON file")
+	jsonPath := fs.String("json", "", "cqa/canon experiments: write the measurements to this JSON file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -78,7 +79,7 @@ func run(args []string) error {
 		p.Seed = *seed
 	}
 	if *expt == "cqa" {
-		return runCQA(p, *par, *cqaSize, *stats)
+		return runCQA(p, *par, *cqaSize, *jsonPath, *stats)
 	}
 	if *expt == "canon" {
 		return runCanon(p, *par, *cqaSize, *rounds, *satCache, *jsonPath, *stats)
@@ -146,11 +147,38 @@ func run(args []string) error {
 	return nil
 }
 
+// cqaOpResult is one operator's measurement in the cqa experiment's
+// -json output.
+type cqaOpResult struct {
+	Operator     string  `json:"operator"`
+	SequentialMS float64 `json:"sequential_ms"`
+	ParallelMS   float64 `json:"parallel_ms"`
+	Speedup      float64 `json:"speedup"`
+	TuplesIn     int64   `json:"tuples_in"`
+	TuplesOut    int64   `json:"tuples_out"`
+	SatChecks    int64   `json:"sat_checks"`
+	PrunedUnsat  int64   `json:"pruned_unsat"`
+	CacheHits    int64   `json:"cache_hits"`
+	CacheMisses  int64   `json:"cache_misses"`
+	FMDecisions  int64   `json:"fm_decisions"`
+}
+
+// cqaResult is the measurement record of the cqa experiment (its -json
+// output shape); the per-operator stats are from the parallel run.
+type cqaResult struct {
+	Experiment    string        `json:"experiment"`
+	TuplesPerSide int           `json:"tuples_per_side"`
+	Workers       int           `json:"workers"`
+	Operators     []cqaOpResult `json:"operators"`
+}
+
 // runCQA times the parallelised CQA operators over workload-derived
 // constraint relations, sequentially and under the worker pool, and
 // reports the speedup. Parallel output is byte-identical to sequential
 // output (checked here on every run), so the timings compare equal work.
-func runCQA(p datagen.Params, par, size int, stats bool) error {
+// -json writes the timings plus the parallel run's per-operator stats as
+// a JSON object.
+func runCQA(p datagen.Params, par, size int, jsonPath string, stats bool) error {
 	ecSeq := exec.New(1)
 	ecPar := exec.New(par)
 	ecPar.SeqThreshold = 1
@@ -180,6 +208,7 @@ func runCQA(p datagen.Params, par, size int, stats bool) error {
 		{"intersect", func(ec *exec.Context) (*relation.Relation, error) { return cqa.IntersectCtx(ec, r1, r2) }},
 		{"difference", func(ec *exec.Context) (*relation.Relation, error) { return cqa.DifferenceCtx(ec, r1, r2) }},
 	}
+	res := cqaResult{Experiment: "cqa", TuplesPerSide: size, Workers: ecPar.Workers()}
 	fmt.Printf("%-12s %12s %12s %8s\n", "operator", "sequential", "parallel", "speedup")
 	for _, o := range ops {
 		t0 := time.Now()
@@ -188,6 +217,7 @@ func runCQA(p datagen.Params, par, size int, stats bool) error {
 			return fmt.Errorf("%s sequential: %w", o.name, err)
 		}
 		seqWall := time.Since(t0)
+		recorded := len(ecPar.Stats())
 		t0 = time.Now()
 		parOut, err := o.run(ecPar)
 		if err != nil {
@@ -200,10 +230,38 @@ func runCQA(p datagen.Params, par, size int, stats bool) error {
 		fmt.Printf("%-12s %12s %12s %7.2fx\n", o.name,
 			seqWall.Round(time.Microsecond), parWall.Round(time.Microsecond),
 			float64(seqWall)/float64(parWall))
+		// Aggregate the parallel run's stats records (some operators record
+		// more than one: intersect is a join plus a select, for instance).
+		opRes := cqaOpResult{
+			Operator:     o.name,
+			SequentialMS: float64(seqWall) / float64(time.Millisecond),
+			ParallelMS:   float64(parWall) / float64(time.Millisecond),
+			Speedup:      float64(seqWall) / float64(parWall),
+		}
+		for _, s := range ecPar.Stats()[recorded:] {
+			opRes.TuplesIn += s.TuplesIn
+			opRes.TuplesOut += s.TuplesOut
+			opRes.SatChecks += s.SatChecks
+			opRes.PrunedUnsat += s.PrunedUnsat
+			opRes.CacheHits += s.CacheHits
+			opRes.CacheMisses += s.CacheMisses
+			opRes.FMDecisions += s.FMDecisions
+		}
+		res.Operators = append(res.Operators, opRes)
 	}
 	if stats {
 		fmt.Println("\nparallel run, per-operator stats:")
 		fmt.Print(exec.FormatStats(ecPar.Summary()))
+	}
+	if jsonPath != "" {
+		b, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(b, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Println("wrote", jsonPath)
 	}
 	return nil
 }

@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestRunSingleExperiments(t *testing.T) {
 	for _, expt := range []string{"fig4", "fig5", "exp3", "corner"} {
@@ -32,5 +37,47 @@ func TestRunCQAExperiment(t *testing.T) {
 	// Small input; also verifies parallel output == sequential output.
 	if err := run([]string{"-expt", "cqa", "-par", "4", "-cqasize", "16", "-stats"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunCQAExperimentJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cqa.json")
+	if err := run([]string{"-expt", "cqa", "-par", "4", "-cqasize", "16", "-json", path}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res cqaResult
+	if err := json.Unmarshal(b, &res); err != nil {
+		t.Fatalf("cqa -json output not valid JSON: %v", err)
+	}
+	if res.Experiment != "cqa" || res.TuplesPerSide != 16 || res.Workers != 4 {
+		t.Errorf("header wrong: %+v", res)
+	}
+	if len(res.Operators) != 4 {
+		t.Fatalf("got %d operator records, want 4", len(res.Operators))
+	}
+	byName := map[string]cqaOpResult{}
+	for _, o := range res.Operators {
+		byName[o.Operator] = o
+		if o.SequentialMS <= 0 || o.ParallelMS <= 0 || o.Speedup <= 0 {
+			t.Errorf("%s: non-positive timings: %+v", o.Operator, o)
+		}
+	}
+	j, ok := byName["join"]
+	if !ok {
+		t.Fatal("join record missing")
+	}
+	// Cross-product join: every pair of the parallel run is sat-checked.
+	if j.SatChecks != 16*16 {
+		t.Errorf("join sat checks = %d, want 256", j.SatChecks)
+	}
+	if j.TuplesIn != 32 {
+		t.Errorf("join tuples in = %d, want 32", j.TuplesIn)
+	}
+	if j.FMDecisions <= 0 {
+		t.Errorf("join fm decisions = %d, want > 0 (no cache configured)", j.FMDecisions)
 	}
 }

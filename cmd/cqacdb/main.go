@@ -9,17 +9,37 @@
 //	cqacdb -db parcels.cqa script.cqa       # run a script
 //	cqacdb -db parcels.cqa -e 'R = select x >= 5 from Land'
 //	cqacdb -par 8 -stats -e '...'           # 8 workers + per-operator stats
+//	cqacdb -explain -e '...'                # EXPLAIN ANALYZE-style plan tree
+//	cqacdb -metrics-addr :8080 -demo hurricane   # /metrics + pprof while the shell runs
 //
 // Queries execute on the parallel CQA layer (package exec): -par sets the
 // worker-pool size (0 = GOMAXPROCS, 1 = sequential), -par-threshold the
 // input size below which operators stay sequential, and -stats prints a
 // per-operator execution table (tuples in/out, satisfiability checks,
-// pruned-unsat count, sat-cache hits/misses, wall time) after each program,
-// followed by the sat-cache counters when the cache is on. -sat-cache sets
-// the size of the memoized satisfiability engine (entries; 0 disables it),
-// which persists across the statements and programs of a session, so
-// repeated shapes are decided once. Parallel output is byte-identical to
-// sequential output, with or without the cache.
+// pruned-unsat count, sat-cache hits/misses, raw FM decisions, wall time)
+// after each program, followed by the sat-cache counters when the cache is
+// on. -sat-cache sets the size of the memoized satisfiability engine
+// (entries; 0 disables it), which persists across the statements and
+// programs of a session, so repeated shapes are decided once. Parallel
+// output is byte-identical to sequential output, with or without the cache.
+//
+// Observability (package obs):
+//
+//   - -explain prints each program's execution as an EXPLAIN ANALYZE-style
+//     plan tree: one line per plan node, annotated with the per-span
+//     counters (tuples in/out, sat checks, pruned, cache hits/misses, raw
+//     Fourier-Motzkin eliminations) and wall time, with pool fan-outs shown
+//     as child spans carrying queue-wait and per-worker busy time;
+//   - -trace-json FILE writes the same span tree as JSON (overwritten per
+//     program; the last program's trace remains);
+//   - -metrics-addr HOST:PORT starts an HTTP listener serving /metrics
+//     (Prometheus text format), /debug/vars (expvar) and /debug/pprof/...
+//     for the life of the process;
+//   - -slowlog D (e.g. 10ms) logs every span at least that slow through
+//     log/slog on stderr, so pathological conjunctions surface themselves.
+//
+// Tracing changes what is *reported*, never what is computed: operator
+// outputs are byte-identical with observability on or off.
 //
 // Interactive commands (besides query statements "Name = ..."):
 //
@@ -36,6 +56,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"strings"
 
@@ -44,6 +65,7 @@ import (
 	"cdb/internal/db"
 	"cdb/internal/exec"
 	"cdb/internal/hurricane"
+	"cdb/internal/obs"
 	"cdb/internal/query"
 	"cdb/internal/relation"
 	"cdb/internal/render"
@@ -69,6 +91,10 @@ func run(args []string) error {
 	stats := fs.Bool("stats", false, "print per-operator execution stats after each program")
 	satCache := fs.Int("sat-cache", constraint.DefaultSatCacheSize,
 		"memoized satisfiability engine size in entries (0 = disabled)")
+	explain := fs.Bool("explain", false, "print each program's EXPLAIN ANALYZE-style plan tree")
+	traceJSON := fs.String("trace-json", "", "write each program's span tree as JSON to this file")
+	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, expvar and /debug/pprof on this address")
+	slowlog := fs.Duration("slowlog", 0, "log spans at least this slow via slog (0 = off)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -76,6 +102,28 @@ func run(args []string) error {
 	ec.SeqThreshold = *parThreshold
 	if *satCache > 0 {
 		ec.SatCache = constraint.NewSatCache(*satCache)
+	}
+	s := &session{ec: ec, stats: *stats, explain: *explain, traceJSON: *traceJSON}
+	if *explain || *traceJSON != "" || *slowlog > 0 {
+		s.tracer = obs.NewTracer()
+		s.tracer.SlowThreshold = *slowlog
+		if *slowlog > 0 {
+			s.tracer.Logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+		}
+		ec.Tracer = s.tracer
+	}
+	if *metricsAddr != "" {
+		reg := obs.NewRegistry()
+		ec.InstallMetrics(reg)
+		if s.tracer != nil {
+			s.tracer.Metrics = reg
+		}
+		srv, err := obs.ServeMetrics(*metricsAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("observability: http://%s/metrics /debug/vars /debug/pprof/\n", srv.Addr())
 	}
 
 	var d *db.Database
@@ -87,7 +135,7 @@ func run(args []string) error {
 		return fmt.Errorf("unknown demo %q (try: hurricane)", *demo)
 	case *dbPath != "":
 		var err error
-		d, err = db.LoadFile(*dbPath)
+		d, err = db.LoadFileCtx(*dbPath, ec)
 		if err != nil {
 			return err
 		}
@@ -102,8 +150,7 @@ func run(args []string) error {
 			return err
 		}
 		printRelation(out, *maxRows)
-		printStats(os.Stdout, ec, *stats)
-		return nil
+		return s.report(os.Stdout)
 	}
 	if *rules != "" {
 		prog, err := calculus.Parse(*rules)
@@ -115,8 +162,7 @@ func run(args []string) error {
 			return err
 		}
 		printRelation(out, *maxRows)
-		printStats(os.Stdout, ec, *stats)
-		return nil
+		return s.report(os.Stdout)
 	}
 	if fs.NArg() > 0 {
 		for _, path := range fs.Args() {
@@ -130,29 +176,59 @@ func run(args []string) error {
 			}
 			fmt.Printf("== %s ==\n", path)
 			printRelation(out, *maxRows)
-			printStats(os.Stdout, ec, *stats)
+			if err := s.report(os.Stdout); err != nil {
+				return err
+			}
 		}
 		return nil
 	}
-	return repl(d, *maxRows, ec, *stats, os.Stdin, os.Stdout)
+	return repl(d, *maxRows, s, os.Stdin, os.Stdout)
 }
 
-// printStats renders and clears the context's per-operator records when
-// enabled; the context keeps accumulating otherwise-silently ignored
-// records if the flag is off, so it is reset either way. The sat-cache
-// counters (cumulative for the session) follow the table when a cache is
-// configured.
-func printStats(w io.Writer, ec *exec.Context, enabled bool) {
-	if enabled {
-		fmt.Fprint(w, exec.FormatStats(ec.Summary()))
-		if ec.SatCache != nil {
-			fmt.Fprintf(w, "sat-cache: %s\n", ec.SatCache.Stats())
+// session bundles one CLI invocation's execution context with its
+// observability outputs (-stats table, -explain tree, -trace-json file).
+type session struct {
+	ec        *exec.Context
+	tracer    *obs.Tracer
+	stats     bool
+	explain   bool
+	traceJSON string
+}
+
+// report renders and clears the per-program observability state: the
+// -stats table (plus the session-cumulative sat-cache counters), the
+// -explain span tree, and the -trace-json file (overwritten each
+// program). Stats and spans are reset either way so a session does not
+// accumulate silently ignored records.
+func (s *session) report(w io.Writer) error {
+	if s.stats {
+		fmt.Fprint(w, exec.FormatStats(s.ec.Summary()))
+		if s.ec.SatCache != nil {
+			fmt.Fprintf(w, "sat-cache: %s\n", s.ec.SatCache.Stats())
 		}
 	}
-	ec.Reset()
+	s.ec.Reset()
+	if s.tracer == nil {
+		return nil
+	}
+	roots := s.tracer.Roots()
+	defer s.tracer.Reset()
+	if s.explain {
+		fmt.Fprint(w, obs.FormatTree(roots, obs.TreeOptions{Wall: true}))
+	}
+	if s.traceJSON != "" {
+		b, err := obs.TraceJSON(roots)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(s.traceJSON, append(b, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
-func repl(d *db.Database, maxRows int, ec *exec.Context, stats bool, in io.Reader, out io.Writer) error {
+func repl(d *db.Database, maxRows int, s *session, in io.Reader, out io.Writer) error {
 	fmt.Fprintln(out, "CQA/CDB shell. Statements: Name = select ... | \\list \\show R \\schema R \\save PATH \\quit")
 	sc := bufio.NewScanner(in)
 	for {
@@ -227,7 +303,7 @@ func repl(d *db.Database, maxRows int, ec *exec.Context, stats bool, in io.Reade
 				fmt.Fprintln(out, err)
 				continue
 			}
-			res, err := prog.RunOptimizedCtx(d.Env(), ec)
+			res, err := prog.RunOptimizedCtx(d.Env(), s.ec)
 			if err != nil {
 				fmt.Fprintln(out, err)
 				continue
@@ -242,7 +318,9 @@ func repl(d *db.Database, maxRows int, ec *exec.Context, stats bool, in io.Reade
 			last := prog.Stmts[len(prog.Stmts)-1].Target
 			_ = d.Put(last, res)
 			fprintRelation(out, res, maxRows)
-			printStats(out, ec, stats)
+			if err := s.report(out); err != nil {
+				fmt.Fprintln(out, err)
+			}
 		}
 	}
 }

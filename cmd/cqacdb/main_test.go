@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -10,6 +11,7 @@ import (
 	"cdb/internal/db"
 	"cdb/internal/exec"
 	"cdb/internal/hurricane"
+	"cdb/internal/obs"
 )
 
 func TestRunEvalFlag(t *testing.T) {
@@ -68,7 +70,7 @@ func TestREPLSession(t *testing.T) {
 		`\quit`,
 	}, "\n"))
 	var out bytes.Buffer
-	if err := repl(d, 10, nil, false, in, &out); err != nil {
+	if err := repl(d, 10, &session{ec: exec.New(1)}, in, &out); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
@@ -94,7 +96,7 @@ func TestREPLSession(t *testing.T) {
 	}
 	// EOF without \quit is a clean exit.
 	var out2 bytes.Buffer
-	if err := repl(d, 10, nil, false, strings.NewReader("\\list\n"), &out2); err != nil {
+	if err := repl(d, 10, &session{ec: exec.New(1)}, strings.NewReader("\\list\n"), &out2); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -110,7 +112,7 @@ func TestREPLSvgCommand(t *testing.T) {
 		`\quit`,
 	}, "\n"))
 	var out bytes.Buffer
-	if err := repl(d, 10, nil, false, in, &out); err != nil {
+	if err := repl(d, 10, &session{ec: exec.New(1)}, in, &out); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(svgPath)
@@ -144,13 +146,91 @@ func TestRunParallelAndStatsFlags(t *testing.T) {
 	}
 }
 
+func TestRunObservabilityFlags(t *testing.T) {
+	// -explain, -slowlog and -metrics-addr must not change results or fail.
+	for _, args := range [][]string{
+		{"-demo", "hurricane", "-explain", "-stats", "-par", "4", "-e",
+			"R0 = join Landownership and Land\nR1 = select t >= 4, t <= 9 from R0\nR2 = project R1 on name"},
+		{"-demo", "hurricane", "-explain", "-rules",
+			`owned(name, t) :- Landownership(name, t, id), id = "A".`},
+		{"-demo", "hurricane", "-slowlog", "1h", "-explain", "-e",
+			"R = select landId = A from Landownership"},
+		{"-demo", "hurricane", "-metrics-addr", "127.0.0.1:0", "-e",
+			"R = select landId = A from Landownership"},
+	} {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+}
+
+func TestRunTraceJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := run([]string{"-demo", "hurricane", "-trace-json", path, "-e",
+		"R0 = join Landownership and Land\nR1 = select t >= 4, t <= 9 from R0\nR2 = project R1 on name"}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var spans []obs.SpanJSON
+	if err := json.Unmarshal(b, &spans); err != nil {
+		t.Fatalf("trace file not valid JSON: %v", err)
+	}
+	if len(spans) == 0 || spans[0].Name != "query" {
+		t.Fatalf("trace roots = %+v, want a query span", spans)
+	}
+	var names []string
+	var collect func(s obs.SpanJSON)
+	collect = func(s obs.SpanJSON) {
+		names = append(names, s.Name)
+		for _, c := range s.Children {
+			collect(c)
+		}
+	}
+	for _, s := range spans {
+		collect(s)
+	}
+	joined := strings.Join(names, ",")
+	for _, want := range []string{"stmt", "join", "select", "project", "normalize"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("trace missing %q span; got %v", want, names)
+		}
+	}
+}
+
+func TestSessionReportExplain(t *testing.T) {
+	d := hurricane.Build()
+	ec := exec.New(4)
+	ec.SeqThreshold = 1
+	s := &session{ec: ec, stats: true, explain: true, tracer: obs.NewTracer()}
+	ec.Tracer = s.tracer
+	if _, err := d.RunCtx("R0 = join Landownership and Land\nR1 = select t >= 4, t <= 9 from R0\nR2 = project R1 on name", ec); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := s.report(&out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"operator", "query", "└─", "join", "fanout"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("report output missing %q:\n%s", want, got)
+		}
+	}
+	if len(s.tracer.Roots()) != 0 {
+		t.Error("spans not reset after report")
+	}
+}
+
 func TestREPLStats(t *testing.T) {
 	d := hurricane.Build()
 	ec := exec.New(4)
 	ec.SeqThreshold = 1
 	in := strings.NewReader("R0 = join Landownership and Land\n\\quit\n")
 	var out bytes.Buffer
-	if err := repl(d, 10, ec, true, in, &out); err != nil {
+	if err := repl(d, 10, &session{ec: ec, stats: true}, in, &out); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()

@@ -268,18 +268,25 @@ func (p *Program) RunCtx(env cqa.Env, ec *exec.Context) (*relation.Relation, err
 				return nil, fmt.Errorf("calculus: line %d: recursive rule %q is not supported", r.Line, r.HeadName)
 			}
 		}
+		// One span per rule: translation (the calculus → algebra rewrite
+		// step), optimisation and plan evaluation all happen under it, so
+		// EXPLAIN shows which rule each plan subtree belongs to.
+		sp := ec.BeginSpan("rule", r.HeadName)
 		plan, err := r.Translate(scratch.Schemas())
 		if err != nil {
+			ec.EndSpan(sp)
 			return nil, err
 		}
 		plan = cqa.Optimize(plan, scratch.Schemas())
 		out, err := plan.EvalCtx(scratch, ec)
 		if err != nil {
+			ec.EndSpan(sp)
 			return nil, fmt.Errorf("calculus: line %d: %w", r.Line, err)
 		}
 		if defined[r.HeadName] {
 			merged, err := cqa.UnionCtx(ec, scratch[r.HeadName], out)
 			if err != nil {
+				ec.EndSpan(sp)
 				return nil, fmt.Errorf("calculus: line %d: rules for %q have incompatible heads: %w", r.Line, r.HeadName, err)
 			}
 			scratch[r.HeadName] = merged
@@ -287,9 +294,15 @@ func (p *Program) RunCtx(env cqa.Env, ec *exec.Context) (*relation.Relation, err
 			scratch[r.HeadName] = out
 			defined[r.HeadName] = true
 		}
+		sp.Set("out", int64(scratch[r.HeadName].Len()))
+		ec.EndSpan(sp)
 	}
 	last := p.Rules[len(p.Rules)-1].HeadName
-	return scratch[last].NormalizeWith(ec.SatFunc()), nil
+	sp := ec.BeginSpan("normalize", "")
+	norm := scratch[last].NormalizeWith(ec.SatFunc())
+	sp.Set("out", int64(norm.Len()))
+	ec.EndSpan(sp)
+	return norm, nil
 }
 
 // String renders the program back to rule syntax.

@@ -1,0 +1,117 @@
+package cqa
+
+import (
+	"strings"
+	"testing"
+
+	"cdb/internal/constraint"
+	"cdb/internal/exec"
+	"cdb/internal/obs"
+	"cdb/internal/rational"
+)
+
+// TestExplainSpanTotalsMatchStats is the acceptance check of the
+// observability layer: evaluating a composed plan (project ∘ select ∘
+// join) with tracing on must produce a span tree whose per-span
+// sat-check, cache-hit and tuple totals sum to exactly the aggregates
+// the flat -stats table reports — the EXPLAIN tree and -stats are two
+// views of the same numbers.
+func TestExplainSpanTotalsMatchStats(t *testing.T) {
+	r1, r2 := parInputs(t, 13, 20, 20, 5)
+	env := Env{"R1": r1, "R2": r2}
+	plan := NewProject(NewSelect(NewJoin(Scan("R1"), Scan("R2")),
+		Condition{AttrCmpConst("x", OpLe, rational.FromInt(2000))}), "id", "x")
+
+	ec := &exec.Context{Parallelism: 4, SeqThreshold: 1}
+	ec.SatCache = constraint.NewSatCache(1024)
+	ec.Tracer = obs.NewTracer()
+	if _, err := plan.EvalCtx(env, ec); err != nil {
+		t.Fatal(err)
+	}
+
+	roots := ec.Tracer.Roots()
+	if len(roots) != 1 {
+		t.Fatalf("got %d root spans, want 1 (the outermost plan node)", len(roots))
+	}
+	var agg exec.OpStats
+	for _, s := range ec.Summary() {
+		agg.SatChecks += s.SatChecks
+		agg.CacheHits += s.CacheHits
+		agg.CacheMisses += s.CacheMisses
+		agg.TuplesIn += s.TuplesIn
+		agg.TuplesOut += s.TuplesOut
+		agg.PrunedUnsat += s.PrunedUnsat
+		agg.FMDecisions += s.FMDecisions
+	}
+	if agg.SatChecks == 0 {
+		t.Fatal("fixture produced no satisfiability checks; the comparison is vacuous")
+	}
+	for _, cmp := range []struct {
+		key  string
+		want int64
+	}{
+		{"sat", agg.SatChecks},
+		{"hit", agg.CacheHits},
+		{"miss", agg.CacheMisses},
+		{"in", agg.TuplesIn},
+		{"pruned", agg.PrunedUnsat},
+		{"fm", agg.FMDecisions},
+	} {
+		if got := obs.SumCounter(roots, cmp.key); got != cmp.want {
+			t.Errorf("span %q total = %d, -stats aggregate = %d", cmp.key, got, cmp.want)
+		}
+	}
+	// "out" is recorded by the scan spans too (they are not operators),
+	// so the span total is stats-out plus the scanned input sizes.
+	wantOut := agg.TuplesOut + int64(r1.Len()+r2.Len())
+	if got := obs.SumCounter(roots, "out"); got != wantOut {
+		t.Errorf("span out total = %d, want stats out + scans = %d", got, wantOut)
+	}
+
+	// The rendered tree shows the plan shape with operators folded onto
+	// their plan nodes.
+	rendered := obs.FormatTree(roots, obs.TreeOptions{})
+	for _, want := range []string{"project", "select", "join", "scan R1", "scan R2", "fanout"} {
+		if !strings.Contains(rendered, want) {
+			t.Errorf("EXPLAIN tree missing %q:\n%s", want, rendered)
+		}
+	}
+	for _, name := range []string{"project", "select", "join"} {
+		if n := strings.Count(rendered, "─ "+name); n > 1 {
+			t.Errorf("%q rendered %d times; operator span not folded into its plan node:\n%s",
+				name, n, rendered)
+		}
+	}
+}
+
+// TestTracingDoesNotChangeOutput pins the tentpole's no-interference
+// contract: with tracing and metrics on, operator output is
+// byte-identical (same tuples, same order) to the untraced run.
+func TestTracingDoesNotChangeOutput(t *testing.T) {
+	r1, r2 := parInputs(t, 17, 30, 30, 5)
+	env := Env{"R1": r1, "R2": r2}
+	plan := NewProject(NewSelect(NewJoin(Scan("R1"), Scan("R2")),
+		Condition{AttrCmpConst("x", OpLe, rational.FromInt(2000)),
+			AttrCmpConst("y", OpNe, rational.FromInt(700))}), "id", "x")
+
+	plain := &exec.Context{Parallelism: 4, SeqThreshold: 1}
+	want, err := plan.EvalCtx(env, plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	traced := &exec.Context{Parallelism: 4, SeqThreshold: 1}
+	traced.Tracer = obs.NewTracer()
+	traced.InstallMetrics(obs.NewRegistry())
+	got, err := plan.EvalCtx(env, traced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dump(got) != dump(want) {
+		t.Errorf("tracing changed operator output\nuntraced:\n%s\ntraced:\n%s",
+			dump(want), dump(got))
+	}
+	if len(traced.Tracer.Roots()) == 0 {
+		t.Error("traced run collected no spans")
+	}
+}

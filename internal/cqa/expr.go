@@ -19,7 +19,10 @@ type Node interface {
 	Eval(env Env) (*relation.Relation, error)
 	// EvalCtx evaluates the subtree under an execution context: operators
 	// fan their satisfiability work out over ec's worker pool and record
-	// per-operator stats on ec. A nil ec is Eval.
+	// per-operator stats on ec. When ec traces, every node opens a span,
+	// so the evaluated plan appears as a tree in EXPLAIN output (the
+	// operator's own counters fold into the node's line). A nil ec is
+	// Eval.
 	EvalCtx(env Env, ec *exec.Context) (*relation.Relation, error)
 	// OutSchema computes the result schema without evaluating.
 	OutSchema(env SchemaEnv) (schema.Schema, error)
@@ -49,10 +52,13 @@ func Scan(name string) *ScanNode { return &ScanNode{Name: name} }
 func (n *ScanNode) Eval(env Env) (*relation.Relation, error) { return n.EvalCtx(env, nil) }
 
 func (n *ScanNode) EvalCtx(env Env, ec *exec.Context) (*relation.Relation, error) {
+	sp := ec.BeginSpan("scan", n.Name)
+	defer ec.EndSpan(sp)
 	r, ok := env[n.Name]
 	if !ok {
 		return nil, fmt.Errorf("cqa: unknown relation %q", n.Name)
 	}
+	sp.Set("out", int64(r.Len()))
 	return r, nil
 }
 
@@ -80,6 +86,8 @@ func NewSelect(in Node, cond Condition) *SelectNode {
 func (n *SelectNode) Eval(env Env) (*relation.Relation, error) { return n.EvalCtx(env, nil) }
 
 func (n *SelectNode) EvalCtx(env Env, ec *exec.Context) (*relation.Relation, error) {
+	sp := ec.BeginSpan("select", n.Cond.String())
+	defer ec.EndSpan(sp)
 	in, err := n.Input.EvalCtx(env, ec)
 	if err != nil {
 		return nil, err
@@ -116,6 +124,8 @@ func NewProject(in Node, cols ...string) *ProjectNode {
 func (n *ProjectNode) Eval(env Env) (*relation.Relation, error) { return n.EvalCtx(env, nil) }
 
 func (n *ProjectNode) EvalCtx(env Env, ec *exec.Context) (*relation.Relation, error) {
+	sp := ec.BeginSpan("project", strings.Join(n.Cols, ", "))
+	defer ec.EndSpan(sp)
 	in, err := n.Input.EvalCtx(env, ec)
 	if err != nil {
 		return nil, err
@@ -144,6 +154,8 @@ func NewJoin(l, r Node) *JoinNode { return &JoinNode{Left: l, Right: r} }
 func (n *JoinNode) Eval(env Env) (*relation.Relation, error) { return n.EvalCtx(env, nil) }
 
 func (n *JoinNode) EvalCtx(env Env, ec *exec.Context) (*relation.Relation, error) {
+	sp := ec.BeginSpan("join", "")
+	defer ec.EndSpan(sp)
 	l, err := n.Left.EvalCtx(env, ec)
 	if err != nil {
 		return nil, err
@@ -180,6 +192,8 @@ func NewUnion(l, r Node) *UnionNode { return &UnionNode{Left: l, Right: r} }
 func (n *UnionNode) Eval(env Env) (*relation.Relation, error) { return n.EvalCtx(env, nil) }
 
 func (n *UnionNode) EvalCtx(env Env, ec *exec.Context) (*relation.Relation, error) {
+	sp := ec.BeginSpan("union", "")
+	defer ec.EndSpan(sp)
 	l, err := n.Left.EvalCtx(env, ec)
 	if err != nil {
 		return nil, err
@@ -219,6 +233,8 @@ func NewDiff(l, r Node) *DiffNode { return &DiffNode{Left: l, Right: r} }
 func (n *DiffNode) Eval(env Env) (*relation.Relation, error) { return n.EvalCtx(env, nil) }
 
 func (n *DiffNode) EvalCtx(env Env, ec *exec.Context) (*relation.Relation, error) {
+	sp := ec.BeginSpan("difference", "")
+	defer ec.EndSpan(sp)
 	l, err := n.Left.EvalCtx(env, ec)
 	if err != nil {
 		return nil, err
@@ -263,6 +279,8 @@ func NewRename(in Node, old, new string) *RenameNode {
 func (n *RenameNode) Eval(env Env) (*relation.Relation, error) { return n.EvalCtx(env, nil) }
 
 func (n *RenameNode) EvalCtx(env Env, ec *exec.Context) (*relation.Relation, error) {
+	sp := ec.BeginSpan("rename", n.Old+" -> "+n.New)
+	defer ec.EndSpan(sp)
 	in, err := n.Input.EvalCtx(env, ec)
 	if err != nil {
 		return nil, err

@@ -98,12 +98,17 @@ func (d *Database) Run(src string) (*relation.Relation, error) {
 }
 
 // RunCtx is Run under an execution context: CQA operators fan out over
-// ec's worker pool and record per-operator stats on ec. A nil ec is Run.
+// ec's worker pool and record per-operator stats on ec. When ec traces,
+// the whole program runs under a "query" root span (statements and plan
+// nodes nest below it; the final normalisation pass is its own child).
+// A nil ec is Run.
 func (d *Database) RunCtx(src string, ec *exec.Context) (*relation.Relation, error) {
 	prog, err := query.Parse(src)
 	if err != nil {
 		return nil, err
 	}
+	root := ec.BeginSpan("query", firstLine(src))
+	defer ec.EndSpan(root)
 	out, err := prog.RunOptimizedCtx(d.Env(), ec)
 	if err != nil {
 		return nil, err
@@ -112,13 +117,41 @@ func (d *Database) RunCtx(src string, ec *exec.Context) (*relation.Relation, err
 	// constraint parts simplified into canonical form, duplicates removed.
 	// Semantics unchanged; the context's sat-cache (if any) memoizes the
 	// decisions.
-	return out.NormalizeWith(ec.SatFunc()), nil
+	sp := ec.BeginSpan("normalize", "")
+	norm := out.NormalizeWith(ec.SatFunc())
+	sp.Set("out", int64(norm.Len()))
+	ec.EndSpan(sp)
+	return norm, nil
+}
+
+// firstLine returns the first non-empty line of src, as span detail.
+func firstLine(src string) string {
+	for _, line := range strings.Split(src, "\n") {
+		if line = strings.TrimSpace(line); line != "" {
+			return line
+		}
+	}
+	return ""
 }
 
 // --- text serialisation ---
 
 // Save writes the database in the text format.
 func (d *Database) Save(w io.Writer) error {
+	return d.SaveCtx(w, nil)
+}
+
+// SaveCtx is Save under an execution context: when ec traces, the write
+// runs under a "db.save" span counting relations and tuples written.
+func (d *Database) SaveCtx(w io.Writer, ec *exec.Context) error {
+	sp := ec.BeginSpan("db.save", "")
+	defer ec.EndSpan(sp)
+	tuples := 0
+	for _, r := range d.rels {
+		tuples += r.Len()
+	}
+	sp.Set("relations", int64(len(d.rels)))
+	sp.Set("tuples", int64(tuples))
 	bw := bufio.NewWriter(w)
 	for _, name := range d.order {
 		r := d.rels[name]
@@ -174,6 +207,29 @@ func (d *Database) SaveFile(path string) error {
 
 // Load reads a database in the text format.
 func Load(r io.Reader) (*Database, error) {
+	return LoadCtx(r, nil)
+}
+
+// LoadCtx is Load under an execution context: when ec traces, parsing
+// and canonicalising the file runs under a "db.load" span counting the
+// relations and tuples read.
+func LoadCtx(r io.Reader, ec *exec.Context) (*Database, error) {
+	sp := ec.BeginSpan("db.load", "")
+	defer ec.EndSpan(sp)
+	d, err := load(r)
+	if err != nil {
+		return nil, err
+	}
+	tuples := 0
+	for _, rel := range d.rels {
+		tuples += rel.Len()
+	}
+	sp.Set("relations", int64(len(d.rels)))
+	sp.Set("tuples", int64(tuples))
+	return d, nil
+}
+
+func load(r io.Reader) (*Database, error) {
 	d := New()
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -246,12 +302,17 @@ func Load(r io.Reader) (*Database, error) {
 
 // LoadFile reads a database file.
 func LoadFile(path string) (*Database, error) {
+	return LoadFileCtx(path, nil)
+}
+
+// LoadFileCtx is LoadFile under an execution context (see LoadCtx).
+func LoadFileCtx(path string, ec *exec.Context) (*Database, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	return Load(f)
+	return LoadCtx(f, ec)
 }
 
 func splitWord(line string) (string, string) {

@@ -16,14 +16,24 @@
 // pruned-unsatisfiable count, wall time). The nil *Context is valid
 // everywhere and means "sequential, no stats": operators thread a Context
 // unconditionally and callers that do not care pass nil.
+//
+// The context is also where the observability layer (package obs) hooks
+// in: an optional Tracer collects a hierarchical span tree (query →
+// statement → plan node → operator → fan-out) rendered as an EXPLAIN
+// ANALYZE-style plan tree, and an optional Metrics registry aggregates
+// per-operator counters and latencies for Prometheus scraping. Both are
+// nil by default and cost only pointer tests when off; operator outputs
+// are byte-identical with observability on or off.
 package exec
 
 import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"cdb/internal/constraint"
+	"cdb/internal/obs"
 )
 
 // DefaultSeqThreshold is the input size below which Map runs inline on
@@ -59,8 +69,20 @@ type Context struct {
 	// every decision runs the raw Fourier-Motzkin eliminator.
 	SatCache *constraint.SatCache
 
-	mu  sync.Mutex
-	ops []OpStats
+	// Tracer, when non-nil, receives a hierarchical span for every plan
+	// node, operator invocation and pool fan-out executed under this
+	// context (see BeginSpan and OpRecorder). Nil disables tracing.
+	Tracer *obs.Tracer
+
+	// Metrics, when non-nil, aggregates per-operator counters (tuples,
+	// sat checks, pruned, cache hits/misses) and operator latencies into
+	// the registry, labelled by operator name. Set it directly or via
+	// InstallMetrics. Nil disables metric emission.
+	Metrics *obs.Registry
+
+	mu    sync.Mutex
+	ops   []OpStats
+	spans []*obs.Span // active span stack (plan-tree level; LIFO)
 }
 
 // New returns a Context with the given worker-pool size (0 = GOMAXPROCS)
@@ -115,15 +137,29 @@ func (c *Context) SatFunc() constraint.SatFunc {
 
 // Map runs fn(i) for every i in [0, n) and returns the results in index
 // order. When the Context parallelises (see ParallelFor) the calls are
-// spread over a bounded worker pool with dynamic work stealing; the
-// result slice is still index-stable, so output is identical to the
+// spread over a bounded worker pool with dynamic index claiming from a
+// shared atomic counter (each worker repeatedly claims the next unrun
+// index; there are no per-worker queues and no stealing between them);
+// the result slice is still index-stable, so output is identical to the
 // sequential path whatever the scheduling.
 //
 // On error the lowest-index error is returned (matching what a
-// sequential left-to-right loop would hit first); in the parallel case
-// fn may also have been called for later indices, so fn must be safe to
-// call for any index regardless of other indices' failures. fn must not
-// mutate shared state without its own synchronisation.
+// sequential left-to-right loop would hit first). An error also cancels
+// the fan-out: workers observe a shared flag and stop claiming new
+// indices, so later indices short-circuit. Because indices are claimed
+// contiguously from zero, every index below an executed failing index
+// has itself been executed, which is what keeps the lowest-index-error
+// contract exact under cancellation. fn may still have been called for
+// some later indices (those claimed before the flag was set), so fn
+// must be safe to call for any index regardless of other indices'
+// failures. fn must not mutate shared state without its own
+// synchronisation.
+//
+// When the context traces (an operator span is open), the parallel path
+// opens a "fanout" child span recording the pool's shape and health:
+// items, workers, summed queue wait (delay between the fan-out start
+// and each worker's first claim) and per-worker busy time (summed and
+// maximum), which is how pool starvation and skew show up in EXPLAIN.
 func Map[T any](c *Context, n int, fn func(i int) (T, error)) ([]T, error) {
 	if n <= 0 {
 		return nil, nil
@@ -145,26 +181,146 @@ func Map[T any](c *Context, n int, fn func(i int) (T, error)) ([]T, error) {
 	if workers > n {
 		workers = n
 	}
+	fanout := c.currentSpan().StartChild("fanout", "")
+	traced := fanout != nil
+	var start time.Time
+	var queueNS, busyNS, maxBusyNS atomic.Int64
+	if traced {
+		start = time.Now()
+	}
+	var stop atomic.Bool
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
+			var busy time.Duration
+			if traced {
+				queueNS.Add(time.Since(start).Nanoseconds())
+				defer func() {
+					busyNS.Add(busy.Nanoseconds())
+					maxOf(&maxBusyNS, busy.Nanoseconds())
+				}()
+			}
 			for {
+				if stop.Load() {
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
+				var t0 time.Time
+				if traced {
+					t0 = time.Now()
+				}
 				out[i], errs[i] = fn(i)
+				if traced {
+					busy += time.Since(t0)
+				}
+				if errs[i] != nil {
+					stop.Store(true)
+				}
 			}
 		}()
 	}
 	wg.Wait()
+	if traced {
+		fanout.Set("items", int64(n))
+		fanout.Set("workers", int64(workers))
+		fanout.Set("queue_ns", queueNS.Load())
+		fanout.Set("busy_ns", busyNS.Load())
+		fanout.Set("maxbusy_ns", maxBusyNS.Load())
+		fanout.End()
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
 	}
 	return out, nil
+}
+
+// maxOf raises *m to v if v is larger (racing raises settle to the max).
+func maxOf(m *atomic.Int64, v int64) {
+	for {
+		old := m.Load()
+		if v <= old || m.CompareAndSwap(old, v) {
+			return
+		}
+	}
+}
+
+// --- tracing ---
+
+// Tracing reports whether the context carries a tracer.
+func (c *Context) Tracing() bool { return c != nil && c.Tracer != nil }
+
+// BeginSpan opens a span under the context's current span (or as a new
+// root) and makes it current. Callers must close it with EndSpan in
+// LIFO order — the plan-tree evaluation that opens these spans is
+// single-goroutine, which is what makes a plain stack sound; only the
+// counters inside a span are touched by pool workers. Nil-safe: without
+// a tracer it returns nil and EndSpan(nil) is a no-op.
+func (c *Context) BeginSpan(name, detail string) *obs.Span {
+	if !c.Tracing() {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var sp *obs.Span
+	if len(c.spans) > 0 {
+		sp = c.spans[len(c.spans)-1].StartChild(name, detail)
+	} else {
+		sp = c.Tracer.StartSpan(name, detail)
+	}
+	c.spans = append(c.spans, sp)
+	return sp
+}
+
+// EndSpan closes sp and pops it (and anything left above it) off the
+// context's span stack.
+func (c *Context) EndSpan(sp *obs.Span) {
+	if sp == nil || c == nil {
+		return
+	}
+	c.mu.Lock()
+	for i := len(c.spans) - 1; i >= 0; i-- {
+		if c.spans[i] == sp {
+			c.spans = c.spans[:i]
+			break
+		}
+	}
+	c.mu.Unlock()
+	sp.End()
+}
+
+// currentSpan returns the innermost open span (nil when not tracing).
+func (c *Context) currentSpan() *obs.Span {
+	if !c.Tracing() {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.spans) == 0 {
+		return nil
+	}
+	return c.spans[len(c.spans)-1]
+}
+
+// InstallMetrics wires the context's observable state into reg: the
+// per-operator counter and latency families (emitted by OpRecorder.Done
+// from then on), the process-wide raw Fourier-Motzkin decision counter,
+// and — when the context has a SatCache — the cache's counters. Call it
+// once after the context is fully configured.
+func (c *Context) InstallMetrics(reg *obs.Registry) {
+	if c == nil || reg == nil {
+		return
+	}
+	c.Metrics = reg
+	reg.NewCounterFunc("cdb_fm_decisions_total",
+		"Raw Fourier-Motzkin satisfiability decisions (process-wide).",
+		constraint.DecisionCount)
+	c.SatCache.RegisterMetrics(reg)
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"cdb/internal/constraint"
+	"cdb/internal/obs"
 )
 
 // OpStats is one operator invocation's execution record.
@@ -19,6 +20,7 @@ type OpStats struct {
 	PrunedUnsat int64         // candidates discarded as unsatisfiable
 	CacheHits   int64         // sat decisions answered by the memoized engine
 	CacheMisses int64         // sat decisions that ran the raw eliminator (cache enabled)
+	FMDecisions int64         // raw Fourier-Motzkin eliminator runs during the operator (process-wide delta; attribution is exact when one operator runs at a time)
 	Wall        time.Duration // wall time of the operator
 	Parallel    bool          // whether the worker pool was used
 }
@@ -32,6 +34,8 @@ type OpRecorder struct {
 	op          string
 	tuplesIn    int64
 	start       time.Time
+	fmStart     int64
+	span        *obs.Span
 	satChecks   atomic.Int64
 	pruned      atomic.Int64
 	tuplesOut   atomic.Int64
@@ -40,12 +44,21 @@ type OpRecorder struct {
 }
 
 // StartOp opens a recorder for one operator invocation. Returns nil (a
-// valid no-op recorder) on the nil Context.
+// valid no-op recorder) on the nil Context. When the context traces,
+// the recorder is also a span: it opens a child of the current span
+// (typically the plan node that invoked the operator) and deposits its
+// counters there on Done, so the flat -stats table and the EXPLAIN tree
+// are two views of the same numbers.
 func (c *Context) StartOp(op string, tuplesIn int) *OpRecorder {
 	if c == nil {
 		return nil
 	}
-	return &OpRecorder{c: c, op: op, tuplesIn: int64(tuplesIn), start: time.Now()}
+	return &OpRecorder{
+		c: c, op: op, tuplesIn: int64(tuplesIn),
+		start:   time.Now(),
+		fmStart: constraint.DecisionCount(),
+		span:    c.BeginSpan(op, ""),
+	}
 }
 
 // SatCheck records one satisfiability decision and, when it came out
@@ -104,7 +117,10 @@ func (r *OpRecorder) AddOut(n int) {
 }
 
 // Done closes the recorder and appends the operator's record to the
-// Context. parallel reports whether the worker pool was used.
+// Context. parallel reports whether the worker pool was used. With
+// tracing on it also closes the operator's span (counters deposited
+// there first), and with a Metrics registry installed it folds the
+// record into the per-operator metric families.
 func (r *OpRecorder) Done(parallel bool) {
 	if r == nil {
 		return
@@ -117,12 +133,47 @@ func (r *OpRecorder) Done(parallel bool) {
 		PrunedUnsat: r.pruned.Load(),
 		CacheHits:   r.cacheHits.Load(),
 		CacheMisses: r.cacheMisses.Load(),
+		FMDecisions: constraint.DecisionCount() - r.fmStart,
 		Wall:        time.Since(r.start),
 		Parallel:    parallel,
+	}
+	if r.span != nil {
+		setNonZero := func(k string, v int64) {
+			if v != 0 {
+				r.span.Set(k, v)
+			}
+		}
+		setNonZero("in", s.TuplesIn)
+		setNonZero("out", s.TuplesOut)
+		setNonZero("sat", s.SatChecks)
+		setNonZero("pruned", s.PrunedUnsat)
+		setNonZero("hit", s.CacheHits)
+		setNonZero("miss", s.CacheMisses)
+		setNonZero("fm", s.FMDecisions)
+		if parallel {
+			r.span.Set("par", 1)
+		}
+		r.c.EndSpan(r.span)
+	}
+	if m := r.c.Metrics; m != nil {
+		addOpMetric(m, "cdb_op_tuples_in_total", "Input tuples per operator.", r.op, s.TuplesIn)
+		addOpMetric(m, "cdb_op_tuples_out_total", "Output tuples per operator.", r.op, s.TuplesOut)
+		addOpMetric(m, "cdb_op_sat_checks_total", "Satisfiability decisions per operator.", r.op, s.SatChecks)
+		addOpMetric(m, "cdb_op_pruned_unsat_total", "Candidates pruned as unsatisfiable per operator.", r.op, s.PrunedUnsat)
+		addOpMetric(m, "cdb_op_cache_hits_total", "Sat-cache hits per operator.", r.op, s.CacheHits)
+		addOpMetric(m, "cdb_op_cache_misses_total", "Sat-cache misses per operator.", r.op, s.CacheMisses)
+		m.HistogramVec("cdb_op_seconds", "Operator wall time.", "op", obs.DefLatencyBuckets).
+			With(r.op).Observe(s.Wall.Seconds())
 	}
 	r.c.mu.Lock()
 	r.c.ops = append(r.c.ops, s)
 	r.c.mu.Unlock()
+}
+
+func addOpMetric(m *obs.Registry, name, help, op string, v int64) {
+	if v != 0 {
+		m.CounterVec(name, help, "op").With(op).Add(v)
+	}
 }
 
 // Stats returns a copy of the operator records collected so far, in
@@ -166,6 +217,7 @@ func (c *Context) Summary() []OpStats {
 		out[i].PrunedUnsat += s.PrunedUnsat
 		out[i].CacheHits += s.CacheHits
 		out[i].CacheMisses += s.CacheMisses
+		out[i].FMDecisions += s.FMDecisions
 		out[i].Wall += s.Wall
 		out[i].Parallel = out[i].Parallel || s.Parallel
 	}
@@ -177,15 +229,15 @@ func (c *Context) Summary() []OpStats {
 func FormatStats(stats []OpStats) string {
 	var b strings.Builder
 	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
-	fmt.Fprintln(w, "operator\tin\tout\tsat-checks\tpruned\tcache-hit\tcache-miss\twall\tmode")
+	fmt.Fprintln(w, "operator\tin\tout\tsat-checks\tpruned\tcache-hit\tcache-miss\tfm\twall\tmode")
 	for _, s := range stats {
 		mode := "seq"
 		if s.Parallel {
 			mode = "par"
 		}
-		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%s\t%s\n",
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%s\t%s\n",
 			s.Op, s.TuplesIn, s.TuplesOut, s.SatChecks, s.PrunedUnsat,
-			s.CacheHits, s.CacheMisses,
+			s.CacheHits, s.CacheMisses, s.FMDecisions,
 			s.Wall.Round(time.Microsecond), mode)
 	}
 	w.Flush()

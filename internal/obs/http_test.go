@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func getBody(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+func TestServeMetrics(t *testing.T) {
+	reg := NewRegistry()
+	reg.NewCounter("cdb_http_test_total", "HTTP test counter.").Add(7)
+	srv, err := ServeMetrics("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	code, body := getBody(t, base+"/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "cdb_http_test_total 7") {
+		t.Errorf("/metrics: code %d, body:\n%s", code, body)
+	}
+
+	code, body = getBody(t, base+"/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/vars: code %d", code)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(body), &vars); err != nil {
+		t.Fatalf("/debug/vars not JSON: %v", err)
+	}
+	if _, ok := vars["cdb"]; !ok {
+		t.Error("/debug/vars missing the registry snapshot under \"cdb\"")
+	}
+
+	// pprof is mounted (cmdline is cheap and always available).
+	code, _ = getBody(t, base+"/debug/pprof/cmdline")
+	if code != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline: code %d", code)
+	}
+	code, body = getBody(t, base+"/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ index: code %d", code)
+	}
+
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get(base + "/metrics"); err == nil {
+		t.Error("listener still serving after Close")
+	}
+}
+
+func TestServeMetricsBadAddr(t *testing.T) {
+	if _, err := ServeMetrics("127.0.0.1:99999", NewRegistry()); err == nil {
+		t.Error("bad address accepted")
+	}
+}
+
+func TestMetricsContentType(t *testing.T) {
+	srv, err := ServeMetrics("127.0.0.1:0", NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get(fmt.Sprintf("http://%s/metrics", srv.Addr()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("Content-Type = %q, want the 0.0.4 text exposition type", ct)
+	}
+}

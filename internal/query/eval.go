@@ -52,10 +52,14 @@ func (prog *Program) run(env cqa.Env, optimize bool, ec *exec.Context) (*relatio
 	}
 	var last *relation.Relation
 	for _, st := range prog.Stmts {
+		sp := ec.BeginSpan("stmt", st.Target+" = "+st.Expr.String())
 		r, err := evalExpr(st.Expr, scratch, optimize, ec)
 		if err != nil {
+			ec.EndSpan(sp)
 			return nil, fmt.Errorf("query: line %d (%s = %s): %w", st.Line, st.Target, st.Expr, err)
 		}
+		sp.Set("out", int64(r.Len()))
+		ec.EndSpan(sp)
 		scratch[st.Target] = r
 		last = r
 	}

@@ -12,9 +12,18 @@ go vet ./...
 echo '>> go test -race ./...'
 go test -race ./...
 
-# A focused second pass over the canonical-kernel packages with a higher
-# -count: the sat-cache and the *Ctx operators are where fresh races
-# would live, and repetition shakes out scheduling-dependent ones cheaply.
-echo '>> go test -race -count=2 ./internal/constraint ./internal/exec ./internal/cqa ./internal/relation'
-go test -race -count=2 ./internal/constraint ./internal/exec ./internal/cqa ./internal/relation
+# A focused second pass over the canonical-kernel and observability
+# packages with a higher -count: the sat-cache, the *Ctx operators and
+# the span/metrics plumbing are where fresh races would live, and
+# repetition shakes out scheduling-dependent ones cheaply.
+echo '>> go test -race -count=2 ./internal/constraint ./internal/exec ./internal/cqa ./internal/relation ./internal/obs'
+go test -race -count=2 ./internal/constraint ./internal/exec ./internal/cqa ./internal/relation ./internal/obs
+
+# CLI smoke: both binaries must build and execute an end-to-end run —
+# cqacdb with the observability flags on, cdbbench on the cqa experiment.
+echo '>> cli smoke'
+go build -o /dev/null ./cmd/cqacdb ./cmd/cdbbench
+go run ./cmd/cqacdb -demo hurricane -explain -stats \
+    -e 'R = select landId = A from Landownership' >/dev/null
+go run ./cmd/cdbbench -expt cqa -par 2 -cqasize 8 >/dev/null
 echo 'OK'
