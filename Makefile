@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-parallel bench-canon obs-demo
+.PHONY: build test check bench bench-parallel bench-canon obs-demo fuzz diff
 
 build:
 	$(GO) build ./...
@@ -31,3 +31,19 @@ obs-demo:
 # workload. Writes the measurements to BENCH_canon.json.
 bench-canon:
 	$(GO) run ./cmd/cdbbench -expt canon -cqasize 48 -rounds 5 -json BENCH_canon.json
+
+# Native fuzzing: 30s per target. go's -fuzz takes one package at a time,
+# so the four targets run sequentially (~2min total). Inputs that fail are
+# auto-saved under the package's testdata/fuzz/<Target>/ — commit them;
+# they replay as regression tests in every ordinary `go test` run.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test ./internal/constraint -run '^$$' -fuzz '^FuzzCanon$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/constraint -run '^$$' -fuzz '^FuzzFourierMotzkin$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/query -run '^$$' -fuzz '^FuzzQueryParse$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/calculus -run '^$$' -fuzz '^FuzzCalculusParse$$' -fuzztime $(FUZZTIME)
+
+# Differential check against the semantic oracle: 500 seeded random cases
+# across all seven CQA operators, engine vs naive reference evaluator.
+diff:
+	$(GO) run ./cmd/cdbbench -expt diff -n 500 -seed 1 -par 4

@@ -12,6 +12,7 @@
 //	cdbbench -expt corner       # the §5.3 corner case
 //	cdbbench -expt cqa          # parallel vs sequential CQA operator timings
 //	cdbbench -expt canon        # sat-cache cold vs warm decision counts
+//	cdbbench -expt diff         # differential check: engine vs semantic oracle
 //	cdbbench -scale 10          # 1/10th of the data for a quick run
 //	cdbbench -page 512          # page (node) size in bytes
 //	cdbbench -buckets 8         # plot buckets per series
@@ -31,6 +32,15 @@
 // the wall times; it fails if the warm output is not byte-identical to the
 // cold output. -json writes the measurements as a JSON object (the
 // `make bench-canon` target writes BENCH_canon.json this way).
+//
+// The diff experiment runs the semantic oracle's differential harness
+// (internal/oracle): -n random (relation, operator) cases across all seven
+// CQA operators, engine output vs the naive reference evaluator, exact
+// rational membership compared on witness point sets. -seed makes the run
+// reproducible, -par sets the engine's worker pool, and -json writes the
+// report (cases, per-operator counts, points compared, minimised failure
+// pairs) as a JSON object. Any disagreement is printed and fails the run
+// with a nonzero exit.
 package main
 
 import (
@@ -38,6 +48,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -46,6 +57,7 @@ import (
 	"cdb/internal/datagen"
 	"cdb/internal/exec"
 	"cdb/internal/experiments"
+	"cdb/internal/oracle"
 	"cdb/internal/rational"
 	"cdb/internal/relation"
 )
@@ -59,7 +71,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("cdbbench", flag.ContinueOnError)
-	expt := fs.String("expt", "all", "experiment: fig4 | fig5 | exp3 | corner | cqa | canon | all")
+	expt := fs.String("expt", "all", "experiment: fig4 | fig5 | exp3 | corner | cqa | canon | diff | all")
 	scale := fs.Int("scale", 1, "shrink factor for the workload (1 = paper scale)")
 	page := fs.Int("page", 4096, "page size in bytes (one R*-tree node per page)")
 	buckets := fs.Int("buckets", 8, "buckets per rendered series")
@@ -70,7 +82,8 @@ func run(args []string) error {
 	stats := fs.Bool("stats", false, "cqa/canon experiments: print the per-operator execution table")
 	rounds := fs.Int("rounds", 3, "canon experiment: times to repeat the workload")
 	satCache := fs.Int("sat-cache", 32768, "canon experiment: warm-run sat-cache size in entries")
-	jsonPath := fs.String("json", "", "cqa/canon experiments: write the measurements to this JSON file")
+	jsonPath := fs.String("json", "", "cqa/canon/diff experiments: write the measurements to this JSON file")
+	cases := fs.Int("n", 100, "diff experiment: number of random (relation, operator) cases")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -83,6 +96,9 @@ func run(args []string) error {
 	}
 	if *expt == "canon" {
 		return runCanon(p, *par, *cqaSize, *rounds, *satCache, *jsonPath, *stats)
+	}
+	if *expt == "diff" {
+		return runDiff(*seed, *cases, *par, *jsonPath)
 	}
 	fmt.Printf("workload: %d boxes, %d queries, coords [0,%g], sizes [%g,%g], seed %d, page %d bytes\n\n",
 		p.NumData, p.NumQueries, p.CoordMax, p.SizeMin, p.SizeMax, p.Seed, *page)
@@ -407,6 +423,46 @@ func runCanon(p datagen.Params, par, size, rounds, cacheSize int, jsonPath strin
 		}
 		fmt.Println("wrote", jsonPath)
 	}
+	return nil
+}
+
+// runDiff runs the semantic oracle's differential harness: n seeded random
+// cases across all seven CQA operators, engine vs naive reference
+// evaluator, membership compared at every witness point. Failures are
+// already minimised by the harness; any disagreement fails the run.
+func runDiff(seed int64, n, par int, jsonPath string) error {
+	rep, err := oracle.Diff(oracle.Config{Cases: n, Seed: seed, Workers: par})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("differential oracle: %d cases, seed %d, %d workers\n\n", rep.Cases, rep.Seed, rep.Workers)
+	ops := make([]string, 0, len(rep.PerOp))
+	for op := range rep.PerOp {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	for _, op := range ops {
+		fmt.Printf("%-12s %6d cases\n", op, rep.PerOp[op])
+	}
+	fmt.Printf("\nwitness points compared: %d\n", rep.Points)
+	if jsonPath != "" {
+		b, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(b, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Println("wrote", jsonPath)
+	}
+	if len(rep.Failures) > 0 {
+		for _, f := range rep.Failures {
+			fmt.Printf("\nFAILURE: %s\n", f)
+		}
+		return fmt.Errorf("diff: %d engine/oracle disagreements in %d cases (seed %d reproduces)",
+			len(rep.Failures), rep.Cases, rep.Seed)
+	}
+	fmt.Println("engine and oracle agree at every witness point")
 	return nil
 }
 

@@ -86,6 +86,69 @@ type LinTerm struct {
 	Var  string
 }
 
+// quoteStr quotes a string literal in exactly the form the rule lexer
+// decodes (its inverse): quote, backslash and the common control
+// characters escape, every other byte is emitted raw. Go's %q is NOT
+// suitable here — it emits escapes like \f that the lexer decodes to a
+// plain 'f'.
+func quoteStr(s string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '"', '\\':
+			b.WriteByte('\\')
+			b.WriteByte(c)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\t':
+			b.WriteString(`\t`)
+		case '\r':
+			b.WriteString(`\r`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
+}
+
+// String renders the comparison back to rule syntax ("2 x - y <= 10",
+// `id = "A"`), exactly the form the parser accepts, with the constant
+// moved to the right-hand side.
+func (a CompAtom) String() string {
+	if a.IsStr {
+		if a.HasLit {
+			return fmt.Sprintf("%s %s %s", a.Var, a.Op, quoteStr(a.StrLit))
+		}
+		return fmt.Sprintf("%s %s %s", a.Var, a.Op, a.OtherVar)
+	}
+	var b strings.Builder
+	if len(a.Terms) == 0 {
+		b.WriteString("0")
+	}
+	for i, t := range a.Terms {
+		coef := t.Coef
+		if neg := coef.Sign() < 0; neg {
+			coef = coef.Neg()
+			if i == 0 {
+				b.WriteString("-")
+			} else {
+				b.WriteString(" - ")
+			}
+		} else if i > 0 {
+			b.WriteString(" + ")
+		}
+		if !coef.Equal(rational.One) {
+			b.WriteString(coef.String())
+			b.WriteString(" ")
+		}
+		b.WriteString(t.Var)
+	}
+	fmt.Fprintf(&b, " %s %s", a.Op, a.Const.Neg())
+	return b.String()
+}
+
 // Rule is head :- body.
 type Rule struct {
 	HeadName string
@@ -320,15 +383,15 @@ func (p *Program) String() string {
 				case TermAnon:
 					ts = append(ts, "_")
 				case TermStr:
-					ts = append(ts, fmt.Sprintf("%q", t.Str))
+					ts = append(ts, quoteStr(t.Str))
 				default:
 					ts = append(ts, t.Rat.String())
 				}
 			}
 			parts = append(parts, fmt.Sprintf("%s(%s)", a.Name, strings.Join(ts, ", ")))
 		}
-		for range r.Comps {
-			parts = append(parts, "<comparison>")
+		for _, c := range r.Comps {
+			parts = append(parts, c.String())
 		}
 		b.WriteString(strings.Join(parts, ", "))
 		b.WriteString(".\n")

@@ -262,10 +262,19 @@ func TestProgramString(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := prog.String()
-	for _, want := range []string{"a(x) :- ", "Land(", "_", "<comparison>"} {
+	for _, want := range []string{"a(x) :- ", "Land(", "_", "x <= 3"} {
 		if !contains(s, want) {
 			t.Errorf("String() = %q missing %q", s, want)
 		}
+	}
+	// The printer is a right inverse of the parser: the printed program
+	// reparses, and printing is a fixpoint.
+	again, err := Parse(s)
+	if err != nil {
+		t.Fatalf("printed program %q does not reparse: %v", s, err)
+	}
+	if got := again.String(); got != s {
+		t.Errorf("printer not a fixpoint: %q -> %q", s, got)
 	}
 }
 

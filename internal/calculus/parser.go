@@ -76,6 +76,20 @@ func rlex(src string) ([]rtok, error) {
 				}
 				if src[i] == '\\' && i+1 < len(src) {
 					i++
+					// The common escapes decode; any other escaped byte is
+					// itself (so \" and \\ work). quoteStr is the inverse.
+					switch src[i] {
+					case 'n':
+						b.WriteByte('\n')
+					case 't':
+						b.WriteByte('\t')
+					case 'r':
+						b.WriteByte('\r')
+					default:
+						b.WriteByte(src[i])
+					}
+					i++
+					continue
 				}
 				b.WriteByte(src[i])
 				i++

@@ -1,0 +1,111 @@
+package constraint_test
+
+// Property test (ISSUE 4 satellite): the simplex-based FeasiblePoint and
+// the Fourier-Motzkin IsSatisfiable are two independent decision
+// procedures over the same polyhedra — on closed systems (Le/Eq only)
+// they must agree exactly, and on arbitrary systems satisfiability must
+// imply closure feasibility. Randomised, seeded, 250 cases each.
+
+import (
+	"math/rand"
+	"testing"
+
+	"cdb/internal/constraint"
+	"cdb/internal/datagen"
+	"cdb/internal/rational"
+)
+
+// closedConjunction draws a random conjunction and closes it: every strict
+// inequality weakens to its closure, where simplex and Fourier-Motzkin
+// decide the exact same question.
+func closedConjunction(rng *rand.Rand, vars []string) constraint.Conjunction {
+	j := datagen.RandomConjunction(rng, vars)
+	cs := j.Constraints()
+	out := make([]constraint.Constraint, 0, len(cs))
+	for _, c := range cs {
+		if c.Op == constraint.Lt {
+			c = constraint.Constraint{Expr: c.Expr, Op: constraint.Le}
+		}
+		out = append(out, c)
+	}
+	return constraint.And(out...)
+}
+
+func TestSimplexAgreesWithFourierMotzkin(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	vars := []string{"x", "y", "z"}
+	sat, unsat := 0, 0
+	before := constraint.DecisionCount()
+	for i := 0; i < 250; i++ {
+		j := closedConjunction(rng, vars)
+		fm := j.IsSatisfiable()
+		p, simplex := constraint.FeasiblePoint(j)
+		if fm != simplex {
+			t.Fatalf("case %d: decision procedures disagree on %s: fourier-motzkin=%v simplex=%v",
+				i, j, fm, simplex)
+		}
+		if simplex {
+			sat++
+			// The point simplex returns must actually satisfy the system —
+			// checked by direct substitution, no third procedure involved.
+			for _, c := range j.Constraints() {
+				for _, v := range c.Expr.Vars() {
+					if _, ok := p[v]; !ok {
+						p[v] = rational.Zero
+					}
+				}
+			}
+			holds, err := j.Holds(p)
+			if err != nil {
+				t.Fatalf("case %d: evaluating witness point: %v", i, err)
+			}
+			if !holds {
+				t.Fatalf("case %d: simplex witness %v does not satisfy %s", i, p, j)
+			}
+		} else {
+			unsat++
+		}
+	}
+	if sat == 0 || unsat == 0 {
+		t.Fatalf("degenerate draw: sat=%d unsat=%d — property is vacuous", sat, unsat)
+	}
+	after := constraint.DecisionCount()
+	if after < before {
+		t.Fatalf("DecisionCount went backwards: %d -> %d", before, after)
+	}
+	if after == before {
+		t.Fatal("DecisionCount did not advance across 250 satisfiability decisions")
+	}
+}
+
+// TestSimplexClosureNecessary: on arbitrary (possibly strict) systems the
+// exact decision implies closure feasibility — one direction only; the
+// x < 0 ∧ x >= 0 trap shows the converse is false.
+func TestSimplexClosureNecessary(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	vars := []string{"x", "y"}
+	for i := 0; i < 250; i++ {
+		j := datagen.RandomConjunction(rng, vars)
+		if j.IsSatisfiable() {
+			if _, ok := constraint.FeasiblePoint(j); !ok {
+				t.Fatalf("case %d: %s is satisfiable but simplex finds its closure infeasible", i, j)
+			}
+		}
+	}
+}
+
+// TestDecisionCountMonotone pins the contract the benchmarks read deltas
+// against: concurrent decisions only ever increase the counter.
+func TestDecisionCountMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	prev := constraint.DecisionCount()
+	for i := 0; i < 50; i++ {
+		j := datagen.RandomConjunction(rng, []string{"x", "y"})
+		_ = j.IsSatisfiable()
+		cur := constraint.DecisionCount()
+		if cur < prev {
+			t.Fatalf("DecisionCount decreased: %d -> %d", prev, cur)
+		}
+		prev = cur
+	}
+}

@@ -1,0 +1,74 @@
+package datagen
+
+import (
+	"math/rand"
+	"testing"
+
+	"cdb/internal/schema"
+)
+
+func TestRandomSchemaShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	sawRel, sawNoRel := false, false
+	for i := 0; i < 100; i++ {
+		s := RandomSchema(rng)
+		if len(s.ConstraintNames()) == 0 {
+			t.Fatal("random schema must have at least one constraint attribute")
+		}
+		if len(s.RelationalNames()) > 0 {
+			sawRel = true
+		} else {
+			sawNoRel = true
+		}
+		for _, a := range s.Attrs() {
+			if a.Kind == schema.Constraint && a.Type != schema.Rational {
+				t.Fatalf("constraint attribute %q not rational", a.Name)
+			}
+		}
+	}
+	if !sawRel || !sawNoRel {
+		t.Errorf("schema draw lacks variety: withRel=%v withoutRel=%v", sawRel, sawNoRel)
+	}
+}
+
+func TestRandomRelationReproducible(t *testing.T) {
+	a := RandomRelation(rand.New(rand.NewSource(5)), RandomSchema(rand.New(rand.NewSource(4))), 6)
+	b := RandomRelation(rand.New(rand.NewSource(5)), RandomSchema(rand.New(rand.NewSource(4))), 6)
+	if a.String() != b.String() {
+		t.Fatalf("same seeds, different relations:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestRandomConjunctionVariety(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	vars := []string{"x", "y"}
+	empty, unsat := 0, 0
+	for i := 0; i < 300; i++ {
+		j := RandomConjunction(rng, vars)
+		if j.Len() == 0 {
+			empty++
+		}
+		if !j.IsSatisfiable() {
+			unsat++
+		}
+	}
+	if empty == 0 {
+		t.Error("empty (broad true) conjunction never drawn")
+	}
+	if unsat == 0 {
+		t.Error("unsatisfiable conjunction never drawn — operators' pruning paths go unexercised")
+	}
+}
+
+func TestRandomJoinPairCompatible(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 50; i++ {
+		r1, r2, err := RandomJoinPair(rng, 4)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if _, err := r1.Schema().Join(r2.Schema()); err != nil {
+			t.Fatalf("case %d: schemas not join-compatible: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,298 @@
+package oracle
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+
+	"cdb/internal/constraint"
+	"cdb/internal/rational"
+	"cdb/internal/relation"
+	"cdb/internal/schema"
+)
+
+// WitnessOptions tunes witness point generation. The zero value selects
+// the defaults below.
+type WitnessOptions struct {
+	// RandomPerVar is the number of seeded-random rational coordinates added
+	// per constraint attribute on top of the structural candidates
+	// (default 4).
+	RandomPerVar int
+	// MaxPerVar caps the candidate coordinates per constraint attribute
+	// (default 16).
+	MaxPerVar int
+	// MaxPoints caps the total witness set; larger grids are sampled
+	// (default 400).
+	MaxPoints int
+}
+
+func (o WitnessOptions) withDefaults() WitnessOptions {
+	if o.RandomPerVar == 0 {
+		o.RandomPerVar = 4
+	}
+	if o.MaxPerVar == 0 {
+		o.MaxPerVar = 16
+	}
+	if o.MaxPoints == 0 {
+		o.MaxPoints = 400
+	}
+	return o
+}
+
+// Extra feeds operator arguments into witness generation: selection-
+// condition boundaries and string literals that appear in no input tuple
+// still deserve probe points.
+type Extra struct {
+	Atoms   []constraint.Constraint
+	Strings map[string][]string // relational attribute -> extra literal pool
+}
+
+// maxVertexAtoms caps the quadratic boundary-vertex pass.
+const maxVertexAtoms = 32
+
+// Witnesses generates a finite probe set over schema s: for every
+// constraint attribute, candidate coordinates are gathered from the
+// constraint geometry of the given relations (single-variable boundary
+// intercepts, pairwise boundary-line intersections solved exactly by
+// Cramer's rule), enriched with midpoints between neighbours, just-outside
+// offsets, zero, and seeded-random rational points; for every relational
+// attribute, the observed values plus NULL plus a never-seen literal. The
+// witness set is the (capped, rng-sampled) cartesian product.
+//
+// Witness points only determine *coverage* — every membership comparison
+// made at a witness point is exact — so the generator is free to use any
+// heuristic; no correctness rests on it.
+func Witnesses(rng *rand.Rand, s schema.Schema, opts WitnessOptions, extra Extra, rels ...*relation.Relation) []relation.Point {
+	opts = opts.withDefaults()
+	conAttr := map[string]bool{}
+	for _, name := range s.ConstraintNames() {
+		conAttr[name] = true
+	}
+
+	// Gather the atom pool.
+	var atoms []constraint.Constraint
+	for _, r := range rels {
+		for _, t := range r.Tuples() {
+			atoms = append(atoms, t.Constraint().Constraints()...)
+		}
+	}
+	atoms = append(atoms, extra.Atoms...)
+
+	// Structural candidates per variable.
+	cands := map[string]map[string]rational.Rat{}
+	add := func(v string, val rational.Rat) {
+		if !conAttr[v] {
+			return
+		}
+		if cands[v] == nil {
+			cands[v] = map[string]rational.Rat{}
+		}
+		cands[v][val.Key()] = val
+	}
+	for _, c := range atoms {
+		if vars := c.Expr.Vars(); len(vars) == 1 {
+			v := vars[0]
+			a := c.Expr.Coef(v)
+			add(v, c.Expr.ConstTerm().Div(a).Neg()) // a*v + k OP 0  =>  v = -k/a
+		}
+	}
+	vtx := atoms
+	if len(vtx) > maxVertexAtoms {
+		vtx = vtx[:maxVertexAtoms]
+	}
+	for i := 0; i < len(vtx); i++ {
+		for j := i + 1; j < len(vtx); j++ {
+			addVertex(add, vtx[i], vtx[j])
+		}
+	}
+
+	// Per-attribute coordinate axes.
+	type axis struct {
+		name string
+		vals []relation.Value
+	}
+	var axes []axis
+	for _, a := range s.Attrs() {
+		if a.Kind == schema.Constraint {
+			axes = append(axes, axis{a.Name, ratValues(rng, sortedRats(cands[a.Name]), opts)})
+			continue
+		}
+		axes = append(axes, axis{a.Name, relValues(rels, a, extra.Strings[a.Name])})
+	}
+
+	// The grid, capped by sampling.
+	total := 1
+	for _, ax := range axes {
+		total *= len(ax.vals)
+		if total > opts.MaxPoints {
+			total = opts.MaxPoints + 1
+			break
+		}
+	}
+	var out []relation.Point
+	if total <= opts.MaxPoints {
+		idx := make([]int, len(axes))
+		for {
+			p := relation.Point{}
+			for k, ax := range axes {
+				p[ax.name] = ax.vals[idx[k]]
+			}
+			out = append(out, p)
+			k := len(axes) - 1
+			for ; k >= 0; k-- {
+				idx[k]++
+				if idx[k] < len(axes[k].vals) {
+					break
+				}
+				idx[k] = 0
+			}
+			if k < 0 {
+				break
+			}
+		}
+		return out
+	}
+	seen := map[string]bool{}
+	for draws := 0; draws < 2*opts.MaxPoints && len(out) < opts.MaxPoints; draws++ {
+		p := relation.Point{}
+		var key strings.Builder
+		for _, ax := range axes {
+			v := ax.vals[rng.Intn(len(ax.vals))]
+			p[ax.name] = v
+			key.WriteString(v.Key())
+			key.WriteByte('|')
+		}
+		if seen[key.String()] {
+			continue
+		}
+		seen[key.String()] = true
+		out = append(out, p)
+	}
+	return out
+}
+
+// addVertex solves the boundary lines of two atoms as a 2x2 linear system
+// (Cramer's rule) when they jointly involve exactly two variables, and
+// feeds the intersection coordinates into the candidate sets. Vertices are
+// where FM-projected bounds and difference staircases have their corners,
+// so they are the highest-yield probes.
+func addVertex(add func(string, rational.Rat), c1, c2 constraint.Constraint) {
+	varSet := map[string]bool{}
+	for _, v := range c1.Expr.Vars() {
+		varSet[v] = true
+	}
+	for _, v := range c2.Expr.Vars() {
+		varSet[v] = true
+	}
+	if len(varSet) != 2 {
+		return
+	}
+	vars := make([]string, 0, 2)
+	for v := range varSet {
+		vars = append(vars, v)
+	}
+	sort.Strings(vars)
+	u, v := vars[0], vars[1]
+	a1, b1, k1 := c1.Expr.Coef(u), c1.Expr.Coef(v), c1.Expr.ConstTerm()
+	a2, b2, k2 := c2.Expr.Coef(u), c2.Expr.Coef(v), c2.Expr.ConstTerm()
+	det := a1.Mul(b2).Sub(a2.Mul(b1))
+	if det.IsZero() {
+		return
+	}
+	// a1 u + b1 v + k1 = 0, a2 u + b2 v + k2 = 0.
+	add(u, b1.Mul(k2).Sub(b2.Mul(k1)).Div(det))
+	add(v, a2.Mul(k1).Sub(a1.Mul(k2)).Div(det))
+}
+
+// sortedRats returns the candidate values in ascending order.
+func sortedRats(m map[string]rational.Rat) []rational.Rat {
+	out := make([]rational.Rat, 0, len(m))
+	for _, r := range m {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// ratValues enriches the structural candidates of one constraint attribute
+// into its witness axis: midpoints between neighbours (interior probes),
+// one-off outside offsets (just-past-the-boundary probes), zero, and
+// seeded-random exact-rational convex combinations plus small wild values.
+func ratValues(rng *rand.Rand, base []rational.Rat, opts WitnessOptions) []relation.Value {
+	set := map[string]rational.Rat{}
+	add := func(r rational.Rat) { set[r.Key()] = r }
+	add(rational.Zero)
+	for _, r := range base {
+		add(r)
+	}
+	for i := 0; i+1 < len(base); i++ {
+		add(base[i].Add(base[i+1]).Mul(rational.Half))
+	}
+	if len(base) > 0 {
+		one := rational.One
+		add(base[0].Sub(one))
+		add(base[len(base)-1].Add(one))
+		// Random convex combinations a + (b-a)*k/d: exact rationals inside
+		// the observed span, denominators 1..4.
+		for i := 0; i < opts.RandomPerVar; i++ {
+			a := base[rng.Intn(len(base))]
+			b := base[rng.Intn(len(base))]
+			d := int64(1 + rng.Intn(4))
+			k := rng.Int63n(d + 1)
+			add(a.Add(b.Sub(a).Mul(rational.New(k, d))))
+		}
+	}
+	for i := 0; i < opts.RandomPerVar; i++ {
+		add(rational.New(rng.Int63n(41)-20, 1+rng.Int63n(3)))
+	}
+	vals := sortedRats(set)
+	if len(vals) > opts.MaxPerVar {
+		perm := rng.Perm(len(vals))[:opts.MaxPerVar]
+		sort.Ints(perm)
+		sampled := make([]rational.Rat, 0, opts.MaxPerVar)
+		for _, i := range perm {
+			sampled = append(sampled, vals[i])
+		}
+		vals = sampled
+	}
+	out := make([]relation.Value, len(vals))
+	for i, r := range vals {
+		out[i] = relation.Rat(r)
+	}
+	return out
+}
+
+// relValues builds the witness axis of one relational attribute: NULL (the
+// narrow missing-value quasi-value), every value observed in the inputs,
+// any extra literals (e.g. from selection conditions), and one value
+// guaranteed to appear nowhere.
+func relValues(rels []*relation.Relation, a schema.Attribute, extra []string) []relation.Value {
+	byKey := map[string]relation.Value{}
+	for _, r := range rels {
+		if !r.Schema().Has(a.Name) {
+			continue
+		}
+		for _, t := range r.Tuples() {
+			if v, ok := t.RVal(a.Name); ok {
+				byKey[v.Key()] = v
+			}
+		}
+	}
+	for _, s := range extra {
+		v := relation.Str(s)
+		byKey[v.Key()] = v
+	}
+	keys := make([]string, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := []relation.Value{relation.Null()}
+	for _, k := range keys {
+		out = append(out, byKey[k])
+	}
+	if a.Type == schema.String {
+		return append(out, relation.Str("~unseen~"))
+	}
+	return append(out, relation.Int(999983))
+}

@@ -1,0 +1,55 @@
+package query
+
+// Native fuzz targets for the shell-facing query parser. Run with:
+// go test ./internal/query -run '^$' -fuzz FuzzQueryParse
+// The committed corpus under testdata/fuzz/ replays as an ordinary test.
+
+import (
+	"strings"
+	"testing"
+
+	"cdb/internal/constraint"
+)
+
+// FuzzQueryParse throws arbitrary input at both front doors — the query
+// program parser and the stored-constraint parser. Neither may panic, and
+// anything ParseConstraints accepts must survive a print/reparse round
+// trip with identical canonical semantics.
+func FuzzQueryParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"R0 = select landId = \"A\" from Landownership\nR1 = project R0 on name, t",
+		"B = buffer-join Land and Track within 1/2",
+		"K = k-nearest 3 in Land to point(-10, 2.5)",
+		"R = select x + 2y <= 3, x != 1 from (join A and B)",
+		"R = rename x to lon in (union P and Q)",
+		"R = difference A and B",
+		"x <= 5, x >= 6",
+		"0 < 0",
+		"t = 1/2",
+		"-2x + 3y = 6",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		_, _ = Parse(src) // must not panic
+		cs, err := ParseConstraints(src)
+		if err != nil {
+			return
+		}
+		parts := make([]string, len(cs))
+		for i, c := range cs {
+			parts[i] = c.String()
+		}
+		rendered := strings.Join(parts, ", ")
+		again, err := ParseConstraints(rendered)
+		if err != nil {
+			t.Fatalf("round trip of %q failed: rendered %q does not reparse: %v", src, rendered, err)
+		}
+		j1, j2 := constraint.And(cs...), constraint.And(again...)
+		if !j1.EqualCanonical(j2) {
+			t.Fatalf("round trip of %q changed semantics:\n  first  %s\n  second %s", src, j1, j2)
+		}
+	})
+}

@@ -198,14 +198,22 @@ func (l *lexer) lexString() error {
 }
 
 // mergeCompounds turns IDENT('-')IDENT triples into compound keywords
-// ("buffer-join", "k-nearest"). Elsewhere '-' stays a minus operator.
+// ("buffer-join", "k-nearest"). The three tokens must be adjacent in the
+// source — "k - nearest" with spaces is a subtraction of two variables,
+// not the keyword — and elsewhere '-' stays a minus operator.
 func (l *lexer) mergeCompounds() []token {
 	var out []token
 	ts := l.tokens
 	for i := 0; i < len(ts); i++ {
+		// Identifier tokens record their END offset (lexIdent emits after
+		// advancing); the '-' records its start. Adjacent means the '-'
+		// starts where the first identifier ends and the second identifier
+		// ends one byte plus its own length later.
 		if ts[i].kind == tokIdent && i+2 < len(ts) &&
 			ts[i+1].kind == tokOp && ts[i+1].text == "-" &&
-			ts[i+2].kind == tokIdent {
+			ts[i+2].kind == tokIdent &&
+			ts[i+1].pos == ts[i].pos &&
+			ts[i+2].pos == ts[i+1].pos+1+len(ts[i+2].text) {
 			comp := ts[i].text + "-" + ts[i+2].text
 			if compoundKeywords[strings.ToLower(comp)] {
 				out = append(out, token{kind: tokIdent, text: comp, pos: ts[i].pos, line: ts[i].line})

@@ -1,0 +1,202 @@
+package spatial
+
+// Differential tests (ISSUE 4 satellite): Buffer-Join (plain and R*-tree
+// indexed) and k-Nearest cross-checked against naive O(n²) re-
+// implementations written directly against the definitions in this file —
+// including an independent exact point-to-segment distance, so the bbox
+// prefilter, the index path and the geometric kernel are all on trial.
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"cdb/internal/geometry"
+	"cdb/internal/rational"
+)
+
+// naiveSqDistPointSeg computes the exact squared point-to-segment distance
+// from first principles: project, clamp the parameter to [0,1], measure.
+// Independent of geometry.Segment.SqDistToPoint.
+func naiveSqDistPointSeg(p, a, b geometry.Point) rational.Rat {
+	abx := b.X.Sub(a.X)
+	aby := b.Y.Sub(a.Y)
+	apx := p.X.Sub(a.X)
+	apy := p.Y.Sub(a.Y)
+	den := abx.Mul(abx).Add(aby.Mul(aby))
+	t := apx.Mul(abx).Add(apy.Mul(aby)).Div(den)
+	if t.Sign() < 0 {
+		t = rational.Zero
+	}
+	if t.Sub(rational.One).Sign() > 0 {
+		t = rational.One
+	}
+	cx := a.X.Add(abx.Mul(t))
+	cy := a.Y.Add(aby.Mul(t))
+	dx := p.X.Sub(cx)
+	dy := p.Y.Sub(cy)
+	return dx.Mul(dx).Add(dy.Mul(dy))
+}
+
+// naiveSqDist handles the geometry pairs these tests draw: point-point,
+// and point vs polyline (either side).
+func naiveSqDist(a, b Geometry) rational.Rat {
+	if a.Kind() == KindLine && b.Kind() == KindPoint {
+		return naiveSqDist(b, a)
+	}
+	p := a.Point()
+	switch b.Kind() {
+	case KindPoint:
+		q := b.Point()
+		dx := p.X.Sub(q.X)
+		dy := p.Y.Sub(q.Y)
+		return dx.Mul(dx).Add(dy.Mul(dy))
+	default: // KindLine
+		verts := b.Line().Vertices()
+		min := naiveSqDistPointSeg(p, verts[0], verts[1])
+		for i := 1; i+1 < len(verts); i++ {
+			min = rational.Min(min, naiveSqDistPointSeg(p, verts[i], verts[i+1]))
+		}
+		return min
+	}
+}
+
+// naiveBufferJoin is the definition itself: every pair, exact test, no
+// prefilter, no index.
+func naiveBufferJoin(l, o *Layer, d rational.Rat) []Pair {
+	d2 := d.Mul(d)
+	var out []Pair
+	for _, fa := range l.Features() {
+		for _, fb := range o.Features() {
+			if naiveSqDist(fa.Geom, fb.Geom).LessEq(d2) {
+				out = append(out, Pair{Left: fa.ID, Right: fb.ID})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Left != out[j].Left {
+			return out[i].Left < out[j].Left
+		}
+		return out[i].Right < out[j].Right
+	})
+	return out
+}
+
+// naiveKNearest sorts the whole layer by exact squared distance (ID ties)
+// and truncates.
+func naiveKNearest(l *Layer, q Geometry, k int) []Neighbor {
+	all := make([]Neighbor, 0, l.Len())
+	for _, f := range l.Features() {
+		all = append(all, Neighbor{ID: f.ID, SqDist: naiveSqDist(f.Geom, q)})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if c := all[i].SqDist.Cmp(all[j].SqDist); c != 0 {
+			return c < 0
+		}
+		return all[i].ID < all[j].ID
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	return all[:k]
+}
+
+// randomPoint draws small mixed-denominator coordinates so exact ties and
+// boundary hits (dist == d) actually occur.
+func randomPoint(rng *rand.Rand) geometry.Point {
+	coord := func() rational.Rat {
+		return rational.New(int64(rng.Intn(41)-20), int64(1+rng.Intn(2)))
+	}
+	return geometry.Point{X: coord(), Y: coord()}
+}
+
+// randomPointLayer draws n point features.
+func randomPointLayer(rng *rand.Rand, name string, n int) *Layer {
+	l := NewLayer(name)
+	for i := 0; i < n; i++ {
+		l.MustAdd(Feature{ID: fmt.Sprintf("%s%03d", name, i), Geom: PointGeom(randomPoint(rng))})
+	}
+	return l
+}
+
+// randomMixedLayer draws points and short polylines.
+func randomMixedLayer(rng *rand.Rand, name string, n int) *Layer {
+	l := NewLayer(name)
+	for i := 0; i < n; i++ {
+		if rng.Intn(3) == 0 {
+			verts := []geometry.Point{randomPoint(rng)}
+			for len(verts) < 2+rng.Intn(2) {
+				next := randomPoint(rng)
+				if !next.Equal(verts[len(verts)-1]) {
+					verts = append(verts, next)
+				}
+			}
+			l.MustAdd(Feature{ID: fmt.Sprintf("%s%03d", name, i), Geom: LineGeom(geometry.MustPolyline(verts...))})
+			continue
+		}
+		l.MustAdd(Feature{ID: fmt.Sprintf("%s%03d", name, i), Geom: PointGeom(randomPoint(rng))})
+	}
+	return l
+}
+
+func pairsEqual(a, b []Pair) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestBufferJoinAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for i := 0; i < 30; i++ {
+		left := randomPointLayer(rng, "L", 1+rng.Intn(20))
+		right := randomMixedLayer(rng, "R", 1+rng.Intn(20))
+		d := rational.New(int64(rng.Intn(25)), int64(1+rng.Intn(2)))
+		want := naiveBufferJoin(left, right, d)
+
+		got, err := BufferJoin(left, right, d)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if !pairsEqual(got, want) {
+			t.Errorf("case %d (d=%s): BufferJoin disagrees with naive:\n  got  %v\n  want %v", i, d, got, want)
+		}
+
+		gotIdx, _, err := BufferJoinIndexed(left, right, d)
+		if err != nil {
+			t.Fatalf("case %d indexed: %v", i, err)
+		}
+		if !pairsEqual(gotIdx, want) {
+			t.Errorf("case %d (d=%s): BufferJoinIndexed disagrees with naive:\n  got  %v\n  want %v", i, d, gotIdx, want)
+		}
+	}
+}
+
+func TestKNearestAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for i := 0; i < 30; i++ {
+		layer := randomMixedLayer(rng, "L", 1+rng.Intn(25))
+		q := PointGeom(randomPoint(rng))
+		k := rng.Intn(layer.Len() + 2) // sometimes k > layer size
+		want := naiveKNearest(layer, q, k)
+		got, err := KNearest(layer, q, k)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("case %d (k=%d): length %d vs naive %d", i, k, len(got), len(want))
+		}
+		for j := range got {
+			if got[j].ID != want[j].ID || !got[j].SqDist.Equal(want[j].SqDist) {
+				t.Errorf("case %d (k=%d) rank %d: got %s@%s, naive %s@%s",
+					i, k, j, got[j].ID, got[j].SqDist, want[j].ID, want[j].SqDist)
+			}
+		}
+	}
+}

@@ -19,11 +19,19 @@ go test -race ./...
 echo '>> go test -race -count=2 ./internal/constraint ./internal/exec ./internal/cqa ./internal/relation ./internal/obs'
 go test -race -count=2 ./internal/constraint ./internal/exec ./internal/cqa ./internal/relation ./internal/obs
 
+# Corpus replay: the committed fuzz corpora under testdata/fuzz/ run as
+# ordinary seed inputs here — every input that ever broke the parsers or
+# the canonical kernel stays fixed without a long -fuzz session.
+echo '>> fuzz corpus replay'
+go test -run Fuzz -count=1 ./internal/constraint ./internal/query ./internal/calculus
+
 # CLI smoke: both binaries must build and execute an end-to-end run —
-# cqacdb with the observability flags on, cdbbench on the cqa experiment.
+# cqacdb with the observability flags on, cdbbench on the cqa experiment
+# and on a short differential run against the semantic oracle.
 echo '>> cli smoke'
 go build -o /dev/null ./cmd/cqacdb ./cmd/cdbbench
 go run ./cmd/cqacdb -demo hurricane -explain -stats \
     -e 'R = select landId = A from Landownership' >/dev/null
 go run ./cmd/cdbbench -expt cqa -par 2 -cqasize 8 >/dev/null
+go run ./cmd/cdbbench -expt diff -n 25 -seed 7 -par 2 >/dev/null
 echo 'OK'
