@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-parallel bench-canon obs-demo fuzz diff
+.PHONY: build test check bench bench-parallel bench-canon bench-prune obs-demo fuzz diff
 
 build:
 	$(GO) build ./...
@@ -31,6 +31,14 @@ obs-demo:
 # workload. Writes the measurements to BENCH_canon.json.
 bench-canon:
 	$(GO) run ./cmd/cdbbench -expt canon -cqasize 48 -rounds 5 -json BENCH_canon.json
+
+# Measures the filter-and-refine candidate filter: pairs considered vs
+# pruned, refine-stage sat decisions and wall time, filter on vs off, on
+# dense / skewed-bucket / spatially-clustered workloads. Fails unless the
+# outputs are byte-identical in both modes. Writes BENCH_prune.json;
+# compare two runs with scripts/benchdiff.sh OLD.json NEW.json.
+bench-prune:
+	$(GO) run ./cmd/cdbbench -expt prune -cqasize 96 -rounds 3 -json BENCH_prune.json
 
 # Native fuzzing: 30s per target. go's -fuzz takes one package at a time,
 # so the four targets run sequentially (~2min total). Inputs that fail are

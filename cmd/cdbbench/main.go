@@ -33,6 +33,18 @@
 // cold output. -json writes the measurements as a JSON object (the
 // `make bench-canon` target writes BENCH_canon.json this way).
 //
+// The prune experiment measures the filter-and-refine candidate filter
+// (internal/cqa/pairing.go): the binary operators run over three workload
+// shapes — dense (one heavily overlapping cluster: worst case, measures
+// filter overhead), skewed-bucket (Zipf-distributed relational ids:
+// partition pruning), spatially-clustered (all-NULL ids, separated box
+// clusters: envelope + interval-sweep pruning) — once with the filter off
+// (the dense nested loop) and once with it on, -rounds times each. It
+// reports pairs considered/pruned, refine-stage sat decisions under both
+// modes and the wall-time delta, checks the outputs are byte-identical
+// (failing otherwise), and -json writes the measurements (the
+// `make bench-prune` target writes BENCH_prune.json this way).
+//
 // The diff experiment runs the semantic oracle's differential harness
 // (internal/oracle): -n random (relation, operator) cases across all seven
 // CQA operators, engine output vs the naive reference evaluator, exact
@@ -71,7 +83,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("cdbbench", flag.ContinueOnError)
-	expt := fs.String("expt", "all", "experiment: fig4 | fig5 | exp3 | corner | cqa | canon | diff | all")
+	expt := fs.String("expt", "all", "experiment: fig4 | fig5 | exp3 | corner | cqa | canon | prune | diff | all")
 	scale := fs.Int("scale", 1, "shrink factor for the workload (1 = paper scale)")
 	page := fs.Int("page", 4096, "page size in bytes (one R*-tree node per page)")
 	buckets := fs.Int("buckets", 8, "buckets per rendered series")
@@ -96,6 +108,9 @@ func run(args []string) error {
 	}
 	if *expt == "canon" {
 		return runCanon(p, *par, *cqaSize, *rounds, *satCache, *jsonPath, *stats)
+	}
+	if *expt == "prune" {
+		return runPrune(p, *par, *cqaSize, *rounds, *jsonPath, *stats)
 	}
 	if *expt == "diff" {
 		return runDiff(*seed, *cases, *par, *jsonPath)
@@ -195,9 +210,15 @@ type cqaResult struct {
 // -json writes the timings plus the parallel run's per-operator stats as
 // a JSON object.
 func runCQA(p datagen.Params, par, size int, jsonPath string, stats bool) error {
+	// The experiment measures the worker pool against the sequential loop
+	// over equal work, so the candidate filter is off in both contexts —
+	// with it on, the dense pair space never materialises and the timings
+	// would mostly measure the filter (that is the prune experiment's job).
 	ecSeq := exec.New(1)
+	ecSeq.NoPrune = true
 	ecPar := exec.New(par)
 	ecPar.SeqThreshold = 1
+	ecPar.NoPrune = true
 	r1 := datagen.BoxRelation(p, size, 0)
 	p2 := p
 	p2.Seed = p.Seed + 1000
@@ -360,8 +381,11 @@ func runCanon(p datagen.Params, par, size, rounds, cacheSize int, jsonPath strin
 		return dump, constraint.DecisionCount() - base, time.Since(t0), nil
 	}
 
+	// Filter off in both runs: the experiment counts what the sat-cache
+	// alone saves, so every pair must actually reach a decision.
 	ecCold := exec.New(par)
 	ecCold.SeqThreshold = 1
+	ecCold.NoPrune = true
 	coldDump, coldDecisions, coldWall, err := repeat(ecCold)
 	if err != nil {
 		return fmt.Errorf("canon cold: %w", err)
@@ -370,6 +394,7 @@ func runCanon(p datagen.Params, par, size, rounds, cacheSize int, jsonPath strin
 	cache := constraint.NewSatCache(cacheSize)
 	ecWarm := exec.New(par)
 	ecWarm.SeqThreshold = 1
+	ecWarm.NoPrune = true
 	ecWarm.SatCache = cache
 	warmDump, warmDecisions, warmWall, err := repeat(ecWarm)
 	if err != nil {
@@ -423,6 +448,181 @@ func runCanon(p datagen.Params, par, size, rounds, cacheSize int, jsonPath strin
 		}
 		fmt.Println("wrote", jsonPath)
 	}
+	return nil
+}
+
+// pruneOpResult is one (workload, operator) measurement of the prune
+// experiment.
+type pruneOpResult struct {
+	Workload          string  `json:"workload"`
+	Operator          string  `json:"operator"`
+	PairsTotal        int64   `json:"pairs_total"`
+	PairsPruned       int64   `json:"pairs_pruned"`
+	DenseSatChecks    int64   `json:"dense_sat_checks"`
+	FilteredSatChecks int64   `json:"filtered_sat_checks"`
+	SatCheckRatio     float64 `json:"sat_check_ratio"` // dense / filtered; 0 when filtered is 0
+	DenseWallMS       float64 `json:"dense_wall_ms"`
+	FilteredWallMS    float64 `json:"filtered_wall_ms"`
+	WallDeltaPct      float64 `json:"wall_delta_pct"` // filtered vs dense; negative = filter is faster
+	TuplesOut         int64   `json:"tuples_out"`
+	OutputsIdentical  bool    `json:"outputs_identical"`
+}
+
+// pruneResult is the prune experiment's measurement record (also its
+// -json output shape).
+type pruneResult struct {
+	Experiment    string          `json:"experiment"`
+	TuplesPerSide int             `json:"tuples_per_side"`
+	Rounds        int             `json:"rounds"`
+	Workers       int             `json:"workers"`
+	Results       []pruneOpResult `json:"results"`
+}
+
+// relDump renders a relation in storage order, so equal dumps mean
+// byte-identical output including tuple order (Relation.String sorts).
+func relDump(r *relation.Relation) string {
+	var b strings.Builder
+	b.WriteString(r.Schema().String())
+	for _, t := range r.Tuples() {
+		b.WriteByte('\n')
+		b.WriteString(t.String())
+	}
+	return b.String()
+}
+
+// runPrune measures the filter-and-refine candidate filter: the binary
+// operators over three workload shapes, filter off (the dense nested
+// loop) vs on, `rounds` repetitions each. See the package comment for the
+// workload rationale. Outputs must be byte-identical between the two
+// modes on every (workload, operator) pair; the run fails otherwise.
+func runPrune(p datagen.Params, par, size, rounds int, jsonPath string, stats bool) error {
+	if rounds < 1 {
+		rounds = 1
+	}
+	centerSeed := p.Seed + 77 // shared cluster geography across both inputs
+	pDense := p
+	pDense.SizeMin = 50 // big boxes in one tight cluster: nearly every pair overlaps
+	p2 := p
+	p2.Seed = p.Seed + 1000
+	p2Dense := pDense
+	p2Dense.Seed = p.Seed + 1000
+	type workload struct {
+		name   string
+		r1, r2 *relation.Relation
+		ops    []string
+	}
+	// difference is skipped on the dense workload: with nearly every
+	// subtrahend intersecting every minuend, the staircase subtraction
+	// fragments combinatorially and the run time has nothing to do with
+	// the filter under measurement.
+	workloads := []workload{
+		{"dense",
+			datagen.ClusteredBoxRelation(pDense, size, 1, 10, centerSeed),
+			datagen.ClusteredBoxRelation(p2Dense, size, 1, 10, centerSeed),
+			[]string{"join", "intersect"}},
+		{"skewed-bucket",
+			datagen.SkewedBoxRelation(p, size, 12),
+			datagen.SkewedBoxRelation(p2, size, 12),
+			[]string{"join", "intersect", "difference"}},
+		{"clustered",
+			datagen.ClusteredBoxRelation(p, size, 8, 60, centerSeed),
+			datagen.ClusteredBoxRelation(p2, size, 8, 60, centerSeed),
+			[]string{"join", "intersect", "difference"}},
+	}
+	opFuncs := map[string]func(ec *exec.Context, r1, r2 *relation.Relation) (*relation.Relation, error){
+		"join":       cqa.JoinCtx,
+		"intersect":  cqa.IntersectCtx,
+		"difference": cqa.DifferenceCtx,
+	}
+	ecDense := exec.New(par)
+	ecDense.SeqThreshold = 1
+	ecDense.NoPrune = true
+	ecFilt := exec.New(par)
+	ecFilt.SeqThreshold = 1
+
+	res := pruneResult{Experiment: "prune", TuplesPerSide: size, Rounds: rounds, Workers: ecFilt.Workers()}
+	fmt.Printf("filter-and-refine: %d tuples per side (%d pairs), %d rounds, %d workers\n\n",
+		size, size*size, rounds, res.Workers)
+	fmt.Printf("%-16s %-12s %10s %10s %10s %10s %12s %12s %8s\n",
+		"workload", "operator", "pairs", "filtered", "sat dense", "sat filt",
+		"wall dense", "wall filt", "Δwall")
+	identical := true
+	for _, w := range workloads {
+		for _, opName := range w.ops {
+			op := opFuncs[opName]
+			measure := func(ec *exec.Context) (string, time.Duration, int64, int64, int64, int64, error) {
+				var out *relation.Relation
+				recorded := len(ec.Stats())
+				t0 := time.Now()
+				for i := 0; i < rounds; i++ {
+					var err error
+					out, err = op(ec, w.r1, w.r2)
+					if err != nil {
+						return "", 0, 0, 0, 0, 0, err
+					}
+				}
+				wall := time.Since(t0)
+				var sat, pairs, pruned int64
+				for _, s := range ec.Stats()[recorded:] {
+					sat += s.SatChecks
+					pairs += s.PairsTotal
+					pruned += s.PairsPruned
+				}
+				return relDump(out), wall, sat, pairs, pruned, int64(out.Len()), nil
+			}
+			denseDump, denseWall, denseSat, _, _, tuplesOut, err := measure(ecDense)
+			if err != nil {
+				return fmt.Errorf("%s %s dense: %w", w.name, opName, err)
+			}
+			filtDump, filtWall, filtSat, pairs, pruned, _, err := measure(ecFilt)
+			if err != nil {
+				return fmt.Errorf("%s %s filtered: %w", w.name, opName, err)
+			}
+			r := pruneOpResult{
+				Workload:          w.name,
+				Operator:          opName,
+				PairsTotal:        pairs / int64(rounds),
+				PairsPruned:       pruned / int64(rounds),
+				DenseSatChecks:    denseSat / int64(rounds),
+				FilteredSatChecks: filtSat / int64(rounds),
+				DenseWallMS:       float64(denseWall) / float64(time.Millisecond) / float64(rounds),
+				FilteredWallMS:    float64(filtWall) / float64(time.Millisecond) / float64(rounds),
+				TuplesOut:         tuplesOut,
+				OutputsIdentical:  denseDump == filtDump,
+			}
+			if r.FilteredSatChecks > 0 {
+				r.SatCheckRatio = float64(r.DenseSatChecks) / float64(r.FilteredSatChecks)
+			}
+			if denseWall > 0 {
+				r.WallDeltaPct = 100 * (float64(filtWall) - float64(denseWall)) / float64(denseWall)
+			}
+			identical = identical && r.OutputsIdentical
+			res.Results = append(res.Results, r)
+			fmt.Printf("%-16s %-12s %10d %10d %10d %10d %12s %12s %+7.1f%%\n",
+				w.name, opName, r.PairsTotal, r.PairsPruned, r.DenseSatChecks, r.FilteredSatChecks,
+				(denseWall / time.Duration(rounds)).Round(time.Microsecond),
+				(filtWall / time.Duration(rounds)).Round(time.Microsecond),
+				r.WallDeltaPct)
+		}
+	}
+	if stats {
+		fmt.Println("\nfiltered runs, per-operator stats:")
+		fmt.Print(exec.FormatStats(ecFilt.Summary()))
+	}
+	if jsonPath != "" {
+		b, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(b, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Println("wrote", jsonPath)
+	}
+	if !identical {
+		return fmt.Errorf("prune: filtered output diverges from dense output")
+	}
+	fmt.Println("\noutputs byte-identical with the filter on and off, every workload and operator")
 	return nil
 }
 

@@ -81,3 +81,43 @@ func TestRunCQAExperimentJSON(t *testing.T) {
 		t.Errorf("join fm decisions = %d, want > 0 (no cache configured)", j.FMDecisions)
 	}
 }
+
+func TestRunPruneJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "prune.json")
+	if err := run([]string{"-expt", "prune", "-par", "2", "-cqasize", "16",
+		"-rounds", "1", "-json", path, "-stats"}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res pruneResult
+	if err := json.Unmarshal(b, &res); err != nil {
+		t.Fatalf("prune -json output not valid JSON: %v", err)
+	}
+	if res.Experiment != "prune" || res.TuplesPerSide != 16 || res.Rounds != 1 {
+		t.Errorf("header wrong: %+v", res)
+	}
+	if len(res.Results) != 8 { // dense×2 + skewed×3 + clustered×3
+		t.Fatalf("got %d results, want 8: %+v", len(res.Results), res.Results)
+	}
+	prunedSomewhere := false
+	for _, r := range res.Results {
+		if !r.OutputsIdentical {
+			t.Errorf("%s %s: outputs not identical", r.Workload, r.Operator)
+		}
+		if r.PairsTotal <= 0 {
+			t.Errorf("%s %s: no pairs recorded: %+v", r.Workload, r.Operator, r)
+		}
+		if r.PairsPruned > 0 {
+			prunedSomewhere = true
+		}
+		if r.PairsPruned > r.PairsTotal {
+			t.Errorf("%s %s: pruned %d of %d pairs", r.Workload, r.Operator, r.PairsPruned, r.PairsTotal)
+		}
+	}
+	if !prunedSomewhere {
+		t.Error("no workload pruned any pairs; the experiment measures nothing")
+	}
+}

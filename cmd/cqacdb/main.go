@@ -20,8 +20,12 @@
 // after each program, followed by the sat-cache counters when the cache is
 // on. -sat-cache sets the size of the memoized satisfiability engine
 // (entries; 0 disables it), which persists across the statements and
-// programs of a session, so repeated shapes are decided once. Parallel
-// output is byte-identical to sequential output, with or without the cache.
+// programs of a session, so repeated shapes are decided once. The binary
+// operators pair tuples through a filter-and-refine candidate filter
+// (relational hash partitioning + constraint envelopes + interval sweep);
+// -no-prune falls back to the dense nested loop. Parallel output is
+// byte-identical to sequential output, with or without the cache or the
+// filter.
 //
 // Observability (package obs):
 //
@@ -95,11 +99,13 @@ func run(args []string) error {
 	traceJSON := fs.String("trace-json", "", "write each program's span tree as JSON to this file")
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, expvar and /debug/pprof on this address")
 	slowlog := fs.Duration("slowlog", 0, "log spans at least this slow via slog (0 = off)")
+	noPrune := fs.Bool("no-prune", false, "disable the binary operators' candidate filter (dense nested-loop pairing)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	ec := exec.New(*par)
 	ec.SeqThreshold = *parThreshold
+	ec.NoPrune = *noPrune
 	if *satCache > 0 {
 		ec.SatCache = constraint.NewSatCache(*satCache)
 	}

@@ -19,6 +19,13 @@ type Conjunction struct {
 	// that could perturb the form leaves canon false.
 	canon bool
 	fp    uint64
+
+	// env, when non-nil, lazily memoizes the axis-aligned envelope (see
+	// envelope.go). Canon attaches a fresh box; copies of the conjunction
+	// share it, so the envelope is computed at most once per canonical
+	// form. Constructors that perturb the form leave env nil (Envelope
+	// then computes uncached).
+	env *envBox
 }
 
 // And returns the conjunction of the given constraints. Trivially true
@@ -36,19 +43,24 @@ func And(cs ...Constraint) Conjunction {
 }
 
 // True is the empty conjunction (satisfied by every assignment).
-func True() Conjunction { return Conjunction{canon: true, fp: fingerprintOf(nil)} }
+func True() Conjunction { return Conjunction{canon: true, fp: fingerprintOf(nil), env: trueEnvBox} }
 
 // False returns a canonical unsatisfiable conjunction (0 < 0). The sentinel
 // is pre-flagged canonical: Canon and Fingerprint leave it unchanged (its
 // single atom is trivially false, which Canon collapses back to False), and
 // And/With keep it (only trivially *true* atoms are dropped).
 func False() Conjunction {
-	return Conjunction{cs: falseAtoms, canon: true, fp: falseFingerprint}
+	return Conjunction{cs: falseAtoms, canon: true, fp: falseFingerprint, env: falseEnvBox}
 }
 
 var (
 	falseAtoms       = []Constraint{{Expr: Expr{}, Op: Lt}}
 	falseFingerprint = fingerprintOf(falseAtoms)
+	// Shared envelope boxes for the two canonical sentinels (their sync.Once
+	// is safe to share process-wide; both envelopes are trivially empty —
+	// 0 < 0 has no variable term, so even False bounds nothing).
+	trueEnvBox  = &envBox{}
+	falseEnvBox = &envBox{}
 )
 
 // With returns j extended with additional constraints.

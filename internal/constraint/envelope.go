@@ -1,0 +1,128 @@
+package constraint
+
+import "sync"
+
+// This file implements the axis-aligned envelope of a conjunction — the
+// cheap bounding box behind the filter stage of the binary CQA operators'
+// filter-and-refine split (package cqa). The expensive refine step
+// (Merge+Canon plus a Fourier-Motzkin satisfiability decision per tuple
+// pair) is exactly the quantifier-elimination cost the CDB literature
+// identifies as the evaluation bottleneck; the envelope lets the pairing
+// layer reject most non-interacting pairs in O(shared variables) rational
+// comparisons without ever running the eliminator.
+//
+// The envelope is conservative by construction: it is derived only from
+// the single-variable atoms (a·v + k OP 0 bounds v at -k/a), and a
+// variable touched only by multi-variable atoms stays unbounded, i.e.
+// (-∞, +∞). Therefore the exact solution-set projection onto any variable
+// (VarBounds, a full Fourier-Motzkin projection) is always contained in
+// the envelope's interval — the soundness property the filter relies on:
+// envelope-disjoint on a shared variable implies the merged conjunction
+// is unsatisfiable, so the refine step would have rejected the pair too.
+// ExactEnvelope is the tightened (and much more expensive) counterpart
+// for callers that want VarBounds precision.
+
+// Envelope is the axis-aligned bounding box of a conjunction: at most one
+// rational interval per variable. Variables without an entry are
+// unbounded in both directions. The zero Envelope bounds nothing.
+type Envelope struct {
+	ivs map[string]Interval
+}
+
+// Interval returns the envelope's interval for variable v. ok is false
+// when the envelope carries no bound for v (unbounded both ways).
+func (e Envelope) Interval(v string) (Interval, bool) {
+	iv, ok := e.ivs[v]
+	return iv, ok
+}
+
+// Disjoint reports whether e and o provably cannot overlap on any of the
+// given variables: some listed variable has separated intervals, or an
+// empty interval on either side (an empty interval means that side's
+// conjunction is unsatisfiable on its own). Disjoint envelopes imply the
+// merged conjunction is unsatisfiable, so a filter stage may reject the
+// pair without a satisfiability decision. Not-disjoint proves nothing —
+// the refine step still decides exactly.
+func (e Envelope) Disjoint(o Envelope, vars []string) bool {
+	for _, v := range vars {
+		iv1, ok1 := e.ivs[v]
+		iv2, ok2 := o.ivs[v]
+		if (ok1 && iv1.IsEmpty()) || (ok2 && iv2.IsEmpty()) {
+			return true
+		}
+		if ok1 && ok2 && !iv1.Intersects(iv2) {
+			return true
+		}
+	}
+	return false
+}
+
+// envBox memoizes a conjunction's envelope next to the fingerprint.
+// Canon attaches one shared box to the canonical value it returns, so
+// every copy of that conjunction (tuples share constraint parts freely)
+// computes the envelope at most once, on first use.
+type envBox struct {
+	once sync.Once
+	env  Envelope
+}
+
+// Envelope returns the conjunction's axis-aligned envelope, derived from
+// its single-variable atoms (see the file comment for the soundness
+// contract). On a canonical conjunction the result is memoized alongside
+// the fingerprint: computed on first use, shared by all copies. Non-
+// canonical conjunctions compute it afresh on every call — the operators
+// only ever ask on canonical forms.
+func (j Conjunction) Envelope() Envelope {
+	if j.env == nil {
+		return envelopeOf(j.cs)
+	}
+	j.env.once.Do(func() { j.env.env = envelopeOf(j.cs) })
+	return j.env.env
+}
+
+// envelopeOf derives the envelope from the single-variable atoms of cs.
+// Multi-variable and constant atoms contribute nothing (conservative).
+func envelopeOf(cs []Constraint) Envelope {
+	var ivs map[string]Interval
+	for _, c := range cs {
+		ts := c.Expr.Terms()
+		if len(ts) != 1 {
+			continue
+		}
+		a, v := ts[0].Coef, ts[0].Var
+		bound := c.Expr.ConstTerm().Div(a).Neg() // a*v + k OP 0  =>  v OP' -k/a
+		if ivs == nil {
+			ivs = map[string]Interval{}
+		}
+		iv := ivs[v]
+		switch {
+		case c.Op == Eq:
+			tightenLower(&iv, bound, false)
+			tightenUpper(&iv, bound, false)
+		case a.Sign() > 0: // v <= bound (open if Lt)
+			tightenUpper(&iv, bound, c.Op == Lt)
+		default: // v >= bound
+			tightenLower(&iv, bound, c.Op == Lt)
+		}
+		ivs[v] = iv
+	}
+	return Envelope{ivs: ivs}
+}
+
+// ExactEnvelope computes the exact per-variable bounds of j — one full
+// Fourier-Motzkin projection (VarBounds) per variable, so it costs what
+// the filter stage exists to avoid. ok is false when j is unsatisfiable.
+// It exists for the soundness property tests (every Envelope interval
+// must contain the ExactEnvelope interval) and for planners that want a
+// tightened envelope for long-lived relations.
+func (j Conjunction) ExactEnvelope() (Envelope, bool) {
+	ivs := map[string]Interval{}
+	for _, v := range j.Vars() {
+		iv, ok := j.VarBounds(v)
+		if !ok {
+			return Envelope{}, false
+		}
+		ivs[v] = iv
+	}
+	return Envelope{ivs: ivs}, true
+}

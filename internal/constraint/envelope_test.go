@@ -1,0 +1,178 @@
+package constraint
+
+import (
+	"math/rand"
+	"testing"
+
+	"cdb/internal/rational"
+)
+
+// intervalContains reports whether outer ⊇ inner as sets of rationals.
+func intervalContains(outer, inner Interval) bool {
+	if inner.IsEmpty() {
+		return true
+	}
+	if outer.HasLower {
+		if !inner.HasLower {
+			return false
+		}
+		c := outer.Lower.Cmp(inner.Lower)
+		if c > 0 || (c == 0 && outer.LowerOpen && !inner.LowerOpen) {
+			return false
+		}
+	}
+	if outer.HasUpper {
+		if !inner.HasUpper {
+			return false
+		}
+		c := outer.Upper.Cmp(inner.Upper)
+		if c < 0 || (c == 0 && outer.UpperOpen && !inner.UpperOpen) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestEnvelopeDerivation pins how the envelope reads single-variable
+// atoms and ignores everything else.
+func TestEnvelopeDerivation(t *testing.T) {
+	two, five := rational.FromInt(2), rational.FromInt(5)
+	cases := []struct {
+		name string
+		j    Conjunction
+		v    string
+		want func(iv Interval, ok bool) bool
+	}{
+		{"two-sided", And(GeConst("x", two), LeConst("x", five)), "x",
+			func(iv Interval, ok bool) bool {
+				return ok && iv.HasLower && iv.HasUpper &&
+					iv.Lower.Equal(two) && iv.Upper.Equal(five) &&
+					!iv.LowerOpen && !iv.UpperOpen
+			}},
+		{"strict-upper", And(LtConst("x", five)), "x",
+			func(iv Interval, ok bool) bool {
+				return ok && !iv.HasLower && iv.HasUpper && iv.Upper.Equal(five) && iv.UpperOpen
+			}},
+		{"equality", And(EqConst("x", two)), "x",
+			func(iv Interval, ok bool) bool {
+				return ok && iv.IsPoint() && iv.Lower.Equal(two)
+			}},
+		{"unconstrained-var", And(GeConst("x", two)), "y",
+			func(iv Interval, ok bool) bool { return !ok }},
+		{"multi-var-atom-ignored",
+			And(Constraint{Expr: Var("x").Add(Var("y")).Add(ConstInt(-3)), Op: Le}), "x",
+			func(iv Interval, ok bool) bool { return !ok }},
+	}
+	for _, tc := range cases {
+		iv, ok := tc.j.Envelope().Interval(tc.v)
+		if !tc.want(iv, ok) {
+			t.Errorf("%s: envelope interval for %q = %+v (ok=%v)", tc.name, tc.v, iv, ok)
+		}
+	}
+}
+
+// TestIntervalIntersects pins the endpoint semantics of the overlap test.
+func TestIntervalIntersects(t *testing.T) {
+	mk := func(lo, hi int64, loOpen, hiOpen bool) Interval {
+		return Interval{
+			Lower: rational.FromInt(lo), HasLower: true, LowerOpen: loOpen,
+			Upper: rational.FromInt(hi), HasUpper: true, UpperOpen: hiOpen,
+		}
+	}
+	unbounded := Interval{}
+	cases := []struct {
+		name string
+		a, b Interval
+		want bool
+	}{
+		{"overlap", mk(1, 3, false, false), mk(2, 4, false, false), true},
+		{"touching-closed", mk(1, 2, false, false), mk(2, 3, false, false), true},
+		{"touching-open-left", mk(1, 2, false, true), mk(2, 3, false, false), false},
+		{"touching-open-right", mk(1, 2, false, false), mk(2, 3, true, false), false},
+		{"separated", mk(1, 2, false, false), mk(3, 4, false, false), false},
+		{"unbounded-both", unbounded, mk(10, 20, false, false), true},
+		{"empty-side", mk(3, 2, false, false), unbounded, false},
+	}
+	for _, tc := range cases {
+		if got := tc.a.Intersects(tc.b); got != tc.want {
+			t.Errorf("%s: Intersects = %v, want %v", tc.name, got, tc.want)
+		}
+		if got := tc.b.Intersects(tc.a); got != tc.want {
+			t.Errorf("%s (flipped): Intersects = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestEnvelopeContainsExactBounds is the filter's soundness property: on
+// random conjunctions, every envelope interval contains the exact
+// Fourier-Motzkin projection (VarBounds) of that variable — the envelope
+// over-approximates, never clips.
+func TestEnvelopeContainsExactBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 400; i++ {
+		j := randConj(rng).Canon()
+		if !j.IsSatisfiable() {
+			continue
+		}
+		env := j.Envelope()
+		for _, v := range j.Vars() {
+			exact, ok := j.VarBounds(v)
+			if !ok {
+				t.Fatalf("case %d: satisfiable conjunction with unsat VarBounds(%q): %s", i, v, j)
+			}
+			outer, bounded := env.Interval(v)
+			if !bounded {
+				continue // (-∞,∞) contains everything
+			}
+			if !intervalContains(outer, exact) {
+				t.Errorf("case %d: envelope %+v does not contain exact bounds %+v for %q in %s",
+					i, outer, exact, v, j)
+			}
+		}
+	}
+}
+
+// TestEnvelopeDisjointImpliesUnsat is the filter's reject-side soundness:
+// whenever two random conjunctions have disjoint envelopes on the shared
+// variables, their merge must be unsatisfiable — a pruned pair is one the
+// refine step would have rejected anyway.
+func TestEnvelopeDisjointImpliesUnsat(t *testing.T) {
+	vars := []string{"x", "y", "z"}
+	rng := rand.New(rand.NewSource(37))
+	disjoint := 0
+	for i := 0; i < 600; i++ {
+		a, b := randConj(rng).Canon(), randConj(rng).Canon()
+		if !a.Envelope().Disjoint(b.Envelope(), vars) {
+			continue
+		}
+		disjoint++
+		if merged := a.Merge(b).Canon(); merged.IsSatisfiable() {
+			t.Errorf("case %d: disjoint envelopes but satisfiable merge: %s AND %s", i, a, b)
+		}
+	}
+	if disjoint == 0 {
+		t.Fatal("no disjoint pairs generated; the property was never exercised")
+	}
+}
+
+// TestEnvelopeMemoized checks that Canon attaches a shared envelope box:
+// copies of a canonical conjunction share one lazily-computed envelope.
+func TestEnvelopeMemoized(t *testing.T) {
+	j := And(GeConst("x", rational.FromInt(1)), LeConst("x", rational.FromInt(9))).Canon()
+	if j.env == nil {
+		t.Fatal("Canon did not attach an envelope box")
+	}
+	cp := j
+	_ = j.Envelope()
+	if cp.env != j.env {
+		t.Fatal("copy does not share the envelope box")
+	}
+	iv, ok := cp.Envelope().Interval("x")
+	if !ok || !iv.HasLower || !iv.HasUpper {
+		t.Fatalf("memoized envelope lost the bounds: %+v (ok=%v)", iv, ok)
+	}
+	// True and False are canonical constants with pre-attached boxes.
+	if True().env == nil || False().env == nil {
+		t.Error("True/False constants carry no envelope box")
+	}
+}

@@ -270,6 +270,29 @@ func (iv Interval) Contains(x rational.Rat) bool {
 	return true
 }
 
+// Intersects reports whether the two intervals share at least one
+// rational. Open endpoints are exact: [a, b] and [b, c] intersect (the
+// rationals are dense, the shared endpoint is a point of both), while
+// [a, b) and [b, c] — or any touch where either side is open — do not.
+func (iv Interval) Intersects(o Interval) bool {
+	if iv.IsEmpty() || o.IsEmpty() {
+		return false
+	}
+	if iv.HasUpper && o.HasLower {
+		c := iv.Upper.Cmp(o.Lower)
+		if c < 0 || (c == 0 && (iv.UpperOpen || o.LowerOpen)) {
+			return false
+		}
+	}
+	if o.HasUpper && iv.HasLower {
+		c := o.Upper.Cmp(iv.Lower)
+		if c < 0 || (c == 0 && (o.UpperOpen || iv.LowerOpen)) {
+			return false
+		}
+	}
+	return true
+}
+
 // VarBounds returns the exact range of variable v over the solutions of j,
 // computed by projecting j onto v. The second result is false when j is
 // unsatisfiable.

@@ -22,7 +22,11 @@ func TestExplainSpanTotalsMatchStats(t *testing.T) {
 	plan := NewProject(NewSelect(NewJoin(Scan("R1"), Scan("R2")),
 		Condition{AttrCmpConst("x", OpLe, rational.FromInt(2000))}), "id", "x")
 
-	ec := &exec.Context{Parallelism: 4, SeqThreshold: 1}
+	// Dense loop: with the pair filter on, this sparse workload prunes
+	// every pair before a sat check and the totals comparison would be
+	// vacuous. Span/stat consistency of the filter counters themselves is
+	// covered by TestPairsStatsConsistent in pairing_test.go.
+	ec := &exec.Context{Parallelism: 4, SeqThreshold: 1, NoPrune: true}
 	ec.SatCache = constraint.NewSatCache(1024)
 	ec.Tracer = obs.NewTracer()
 	if _, err := plan.EvalCtx(env, ec); err != nil {

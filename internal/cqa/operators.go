@@ -175,10 +175,15 @@ func joinCtx(ec *exec.Context, op string, r1, r2 *relation.Relation) (*relation.
 	if err != nil {
 		return nil, err
 	}
-	var sharedRel []string
+	var sharedRel, sharedCon []string
 	for _, a := range r1.Schema().Attrs() {
-		if a.Kind == schema.Relational && r2.Schema().Has(a.Name) {
+		if !r2.Schema().Has(a.Name) {
+			continue
+		}
+		if a.Kind == schema.Relational {
 			sharedRel = append(sharedRel, a.Name)
+		} else {
+			sharedCon = append(sharedCon, a.Name)
 		}
 	}
 	t1s, t2s := r1.Tuples(), r2.Tuples()
@@ -187,26 +192,46 @@ func joinCtx(ec *exec.Context, op string, r1, r2 *relation.Relation) (*relation.
 	if len(t2s) > 0 {
 		pairs = len(t1s) * len(t2s)
 	}
-	results, err := exec.Map(ec, pairs, func(i int) (*relation.Tuple, error) {
-		t1, t2 := t1s[i/len(t2s)], t2s[i%len(t2s)]
-		for _, name := range sharedRel {
-			v1, _ := t1.RVal(name) // NULL when unbound
-			v2, _ := t2.RVal(name)
-			if !v1.Identical(v2) {
-				return nil, nil
-			}
-		}
+	// refine is the expensive per-pair step, run only on pairs whose
+	// relational parts are known to match. The relational-part copy
+	// happens after the satisfiability reject, and JoinTuple merges both
+	// sides in a single map allocation.
+	refine := func(t1, t2 relation.Tuple) (*relation.Tuple, error) {
 		con := t1.Constraint().Merge(t2.Constraint()).Canon()
 		if !rec.Satisfiable(con) {
 			return nil, nil
 		}
-		rvals := t1.RVals()
-		for name, v := range t2.RVals() {
-			rvals[name] = v
-		}
-		nt := relation.NewTuple(rvals, con)
+		nt := relation.JoinTuple(t1, t2, con)
 		return &nt, nil
-	})
+	}
+	var results []*relation.Tuple
+	items := pairs
+	if ec.PruneEnabled() && pairs > 0 {
+		// Filter stage: partition on sharedRel, envelope-reject over
+		// sharedCon, sweep or dense enumeration per bucket. The surviving
+		// candidates are in ascending flattened order, so mapping over
+		// them preserves the sequential nested-loop output order.
+		plan := pairCandidates(ec, t1s, t2s, sharedRel, sharedCon)
+		rec.Pairs(int64(plan.total), int64(plan.pruned()))
+		items = len(plan.cands)
+		results, err = exec.Map(ec, items, func(k int) (*relation.Tuple, error) {
+			idx := plan.cands[k]
+			return refine(t1s[idx/len(t2s)], t2s[idx%len(t2s)])
+		})
+	} else {
+		rec.Pairs(int64(pairs), 0)
+		results, err = exec.Map(ec, pairs, func(i int) (*relation.Tuple, error) {
+			t1, t2 := t1s[i/len(t2s)], t2s[i%len(t2s)]
+			for _, name := range sharedRel {
+				v1, _ := t1.RVal(name) // NULL when unbound
+				v2, _ := t2.RVal(name)
+				if !v1.Identical(v2) {
+					return nil, nil
+				}
+			}
+			return refine(t1, t2)
+		})
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -220,7 +245,7 @@ func joinCtx(ec *exec.Context, op string, r1, r2 *relation.Relation) (*relation.
 		}
 	}
 	rec.AddOut(out.Len())
-	rec.Done(ec.ParallelFor(pairs))
+	rec.Done(ec.ParallelFor(items))
 	return out, nil
 }
 
@@ -244,29 +269,63 @@ func Union(r1, r2 *relation.Relation) (*relation.Relation, error) {
 	return UnionCtx(nil, r1, r2)
 }
 
-// UnionCtx is Union under an execution context. Union fans out no per-tuple
-// work, so it always runs sequentially; the context records its stats and
-// supplies the memoized decisions for the final normalisation pass.
+// UnionCtx is Union under an execution context: the per-tuple
+// normalisation work (satisfiability check plus simplification into
+// canonical form) fans out over ec's worker pool; the dedup pass that
+// follows is sequential in input order, replicating
+// relation.NormalizeWith exactly, so the output is byte-identical to the
+// sequential path.
 func UnionCtx(ec *exec.Context, r1, r2 *relation.Relation) (*relation.Relation, error) {
 	if !r1.Schema().Equal(r2.Schema()) {
 		return nil, fmt.Errorf("cqa: union requires equal schemas: %s vs %s", r1.Schema(), r2.Schema())
 	}
-	rec := ec.StartOp("union", r1.Len()+r2.Len())
+	all := make([]relation.Tuple, 0, r1.Len()+r2.Len())
+	all = append(all, r1.Tuples()...)
+	all = append(all, r2.Tuples()...)
+	rec := ec.StartOp("union", len(all))
+	type normed struct {
+		t  relation.Tuple
+		ok bool
+	}
+	results, err := exec.Map(ec, len(all), func(i int) (normed, error) {
+		t := all[i]
+		if !t.Constraint().SatisfiableWith(rec.SatFunc()) {
+			return normed{}, nil
+		}
+		nt := t.WithConstraint(t.Constraint().SimplifyWith(rec.SatFunc()).Canon())
+		return normed{t: nt, ok: true}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Dedup in input order, keyed by (relational part, constraint
+	// fingerprint) and verified exactly — the NormalizeWith contract, so a
+	// fingerprint collision can never merge distinct tuples.
 	out := relation.New(r1.Schema())
-	for _, t := range r1.Tuples() {
-		if err := out.Add(t); err != nil {
+	seen := map[string][]relation.Tuple{}
+	for _, nr := range results {
+		if !nr.ok {
+			continue
+		}
+		dup := false
+		k := nr.t.Key()
+		for _, prev := range seen[k] {
+			if prev.SameRelationalPart(nr.t) && prev.Constraint().EqualCanonical(nr.t.Constraint()) {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		seen[k] = append(seen[k], nr.t)
+		if err := out.Add(nr.t); err != nil {
 			return nil, err
 		}
 	}
-	for _, t := range r2.Tuples() {
-		if err := out.Add(t); err != nil {
-			return nil, err
-		}
-	}
-	norm := out.NormalizeWith(rec.SatFunc())
-	rec.AddOut(norm.Len())
-	rec.Done(false)
-	return norm, nil
+	rec.AddOut(out.Len())
+	rec.Done(ec.ParallelFor(len(all)))
+	return out, nil
 }
 
 // Rename returns ϱ_{new|old}(r): attribute old renamed to new in the
@@ -319,27 +378,73 @@ func Difference(r1, r2 *relation.Relation) (*relation.Relation, error) {
 // DifferenceCtx is Difference under an execution context: the per-tuple
 // complement expansions (the heaviest CQA work) fan out over ec's worker
 // pool.
+//
+// The subtrahends for each tuple of r1 go through the filter-and-refine
+// split: the SameRelationalPart scan becomes a partition-bucket lookup,
+// envelope-disjoint subtrahends are rejected without constraint work, and
+// the survivors pass an exact intersection pre-filter (Merge + sat) —
+// subtracting a region that does not intersect t1 cannot change the
+// semantics, but it would fragment the staircase expansion syntactically.
+// The pre-filter runs in both prune modes, which is what keeps the output
+// byte-identical with pruning on or off: every envelope-pruned subtrahend
+// is one the pre-filter's satisfiability decision rejects anyway.
 func DifferenceCtx(ec *exec.Context, r1, r2 *relation.Relation) (*relation.Relation, error) {
 	if !r1.Schema().Equal(r2.Schema()) {
 		return nil, fmt.Errorf("cqa: difference requires equal schemas: %s vs %s", r1.Schema(), r2.Schema())
 	}
 	t1s, t2s := r1.Tuples(), r2.Tuples()
 	rec := ec.StartOp("difference", len(t1s)+len(t2s))
+	prune := ec.PruneEnabled() && len(t2s) > 0
+	conAttrs := r1.Schema().ConstraintNames()
+	var part *relation.Partition
+	var env2 []constraint.Envelope
+	if prune {
+		part = relation.NewPartition(t2s, r1.Schema().RelationalNames())
+		env2 = envelopes(t2s)
+	}
 	rows, err := exec.Map(ec, len(t1s), func(i int) ([]relation.Tuple, error) {
 		t1 := t1s[i]
-		var subtrahends []constraint.Conjunction
-		for _, t2 := range t2s {
-			if t1.SameRelationalPart(t2) {
-				subtrahends = append(subtrahends, t2.Constraint())
+		// Candidate subtrahends: relational parts must be identical, and —
+		// with the filter on — envelopes must not be disjoint. Bucket
+		// indexes come back in input order, so the subtrahend order (and
+		// with it the staircase expansion) matches the dense scan.
+		var matches []int
+		if prune {
+			e1 := t1.Constraint().Envelope()
+			for _, j := range part.Lookup(t1) {
+				if e1.Disjoint(env2[j], conAttrs) {
+					continue
+				}
+				matches = append(matches, j)
 			}
+			rec.Pairs(int64(len(t2s)), int64(len(t2s)-len(matches)))
+		} else {
+			for j := range t2s {
+				if t1.SameRelationalPart(t2s[j]) {
+					matches = append(matches, j)
+				}
+			}
+			rec.Pairs(int64(len(t2s)), 0)
 		}
-		// The staircase expansion prunes eagerly, so every returned piece is
-		// already proven satisfiable; routing its internal decisions through
-		// the recorder both memoizes them and surfaces them in the stats.
+		// Refine, part 1 — intersection pre-filter: keep only subtrahends
+		// whose region actually meets t1's.
+		var subtrahends []constraint.Conjunction
+		for _, j := range matches {
+			if !rec.Satisfiable(t1.Constraint().Merge(t2s[j].Constraint()).Canon()) {
+				continue
+			}
+			subtrahends = append(subtrahends, t2s[j].Constraint())
+		}
+		// Refine, part 2 — the staircase expansion. It prunes eagerly, so
+		// every returned piece is already proven satisfiable; routing its
+		// internal decisions through the recorder both memoizes them and
+		// surfaces them in the stats. The pieces share t1's relational
+		// part: tuples are immutable, so WithConstraint reuses the binding
+		// map instead of copying it once per piece.
 		pieces := constraint.SubtractAllWith(t1.Constraint(), subtrahends, rec.SatFunc())
 		keepPieces := make([]relation.Tuple, 0, len(pieces))
 		for _, con := range pieces {
-			keepPieces = append(keepPieces, relation.NewTuple(t1.RVals(), con.Canon()))
+			keepPieces = append(keepPieces, t1.WithConstraint(con.Canon()))
 		}
 		return keepPieces, nil
 	})

@@ -1,0 +1,223 @@
+package cqa
+
+import (
+	"sort"
+
+	"cdb/internal/constraint"
+	"cdb/internal/exec"
+	"cdb/internal/rational"
+	"cdb/internal/relation"
+)
+
+// This file is the filter stage of the binary operators' filter-and-refine
+// split. The refine step — Merge+Canon plus a satisfiability decision per
+// tuple pair, or the staircase subtraction in difference — is the
+// quantifier-elimination cost that dominates CDB evaluation; the filter
+// rejects pairs that provably cannot interact before any of it runs, using
+// three cooperating mechanisms:
+//
+//  1. relational-part hash partitioning (relation.Partition): pairs whose
+//     shared relational attributes are not NULL-safe-identical can never
+//     merge, so each side is bucketed once and only matching buckets pair;
+//  2. memoized envelopes (constraint.Envelope): within a bucket, a pair
+//     whose envelopes are disjoint on a shared constraint attribute has an
+//     unsatisfiable merged conjunction — rejected in O(shared attrs)
+//     rational comparisons, no eliminator run;
+//  3. interval-sweep enumeration: large buckets sort both sides on a
+//     planner-chosen attribute's envelope interval and plane-sweep the
+//     overlaps instead of testing all |A|·|B| pairs; small buckets use the
+//     dense loop (crossover at exec.Context.SweepSize, mirroring
+//     SeqThreshold).
+//
+// The contract that keeps outputs byte-identical to the dense nested loop:
+// the surviving candidate set is exactly {bucket-matched pairs whose
+// envelopes are not Disjoint}, whichever enumeration ran — the sweep is a
+// conservative superset pass (closed-endpoint overlap on one attribute)
+// with the full Disjoint check applied to every emitted pair — and the
+// candidates are sorted into ascending flattened (i1·m + i2) order before
+// the refine fan-out, which is the sequential nested-loop order. Every
+// pruned pair is one the refine step would have rejected anyway, so
+// pruning on and off produce the same bytes.
+
+// pairPlan is the filter stage's output for one binary-operator call.
+type pairPlan struct {
+	cands     []int  // surviving pairs as flattened indexes i1*m + i2, ascending
+	total     int    // the dense candidate space |t1s|·|t2s|
+	sweepAttr string // attribute the sweep sorted on; "" = dense enumeration only
+}
+
+// pruned returns how many pairs the filter rejected.
+func (p pairPlan) pruned() int { return p.total - len(p.cands) }
+
+// envelopes computes (memoized) envelopes for every tuple's constraint part.
+func envelopes(ts []relation.Tuple) []constraint.Envelope {
+	out := make([]constraint.Envelope, len(ts))
+	for i := range ts {
+		out[i] = ts[i].Constraint().Envelope()
+	}
+	return out
+}
+
+// pairCandidates runs the filter stage over t1s × t2s: partition on the
+// shared relational attributes, envelope-reject within buckets over the
+// shared constraint attributes, sweep or dense enumeration per bucket
+// (see the file comment).
+func pairCandidates(ec *exec.Context, t1s, t2s []relation.Tuple, sharedRel, sharedCon []string) pairPlan {
+	n, m := len(t1s), len(t2s)
+	if n == 0 || m == 0 {
+		return pairPlan{}
+	}
+	plan := pairPlan{total: n * m}
+	env1, env2 := envelopes(t1s), envelopes(t2s)
+	plan.sweepAttr = chooseSweepAttr(sharedCon, env1, env2)
+	emit := func(i, j int) {
+		if !env1[i].Disjoint(env2[j], sharedCon) {
+			plan.cands = append(plan.cands, i*m+j)
+		}
+	}
+	runBucket := func(as, bs []int) {
+		if plan.sweepAttr == "" || len(as)*len(bs) < ec.SweepSize() {
+			for _, i := range as {
+				for _, j := range bs {
+					emit(i, j)
+				}
+			}
+			return
+		}
+		sweepPairs(plan.sweepAttr, as, bs, env1, env2, emit)
+	}
+	if len(sharedRel) == 0 {
+		as, bs := make([]int, n), make([]int, m)
+		for i := range as {
+			as[i] = i
+		}
+		for j := range bs {
+			bs[j] = j
+		}
+		runBucket(as, bs)
+	} else {
+		p1 := relation.NewPartition(t1s, sharedRel)
+		p2 := relation.NewPartition(t2s, sharedRel)
+		for _, key := range p1.Keys() {
+			bs := p2.Bucket(key)
+			if len(bs) == 0 {
+				continue
+			}
+			runBucket(p1.Bucket(key), bs)
+		}
+	}
+	// Buckets emit in bucket order; the refine fan-out must see the
+	// sequential nested-loop order.
+	sort.Ints(plan.cands)
+	return plan
+}
+
+// chooseSweepAttr picks the shared constraint attribute the interval
+// sweep sorts on: the one where the most tuples on both sides carry
+// two-sided envelope bounds (score = bounded₁·bounded₂ — a proxy for how
+// selective sorting on that attribute will be). Returns "" when no
+// attribute is bounded on both sides; the sweep would then degenerate to
+// the dense loop anyway.
+func chooseSweepAttr(sharedCon []string, env1, env2 []constraint.Envelope) string {
+	attrs := append([]string{}, sharedCon...)
+	sort.Strings(attrs) // deterministic choice whatever the schema order
+	best, bestScore := "", 0
+	for _, a := range attrs {
+		score := countBounded(env1, a) * countBounded(env2, a)
+		if score > bestScore {
+			best, bestScore = a, score
+		}
+	}
+	return best
+}
+
+func countBounded(envs []constraint.Envelope, attr string) int {
+	n := 0
+	for _, e := range envs {
+		if iv, ok := e.Interval(attr); ok && iv.HasLower && iv.HasUpper {
+			n++
+		}
+	}
+	return n
+}
+
+// sweepItem is one tuple's envelope interval in the sweep attribute.
+// A missing bound reads as the corresponding infinity.
+type sweepItem struct {
+	idx          int
+	lo, hi       rational.Rat
+	hasLo, hasHi bool
+}
+
+// sweepPairs enumerates, by a two-pointer sorted merge over the envelope
+// intervals of attr, every (i ∈ as, j ∈ bs) pair whose closed intervals
+// overlap, calling emit exactly once per such pair. Open endpoints are
+// treated as closed here — a conservative superset that the exact
+// Disjoint check inside emit narrows — so no pair the dense loop would
+// keep is ever missed. Tuples with an empty interval in attr are dropped
+// up front; the dense path drops them too (Disjoint reports empty
+// intervals on sight), keeping the two candidate sets identical.
+func sweepPairs(attr string, as, bs []int, env1, env2 []constraint.Envelope, emit func(i, j int)) {
+	sa := sweepItems(attr, as, env1)
+	sb := sweepItems(attr, bs, env2)
+	i, j := 0, 0
+	for i < len(sa) && j < len(sb) {
+		if !loLess(sb[j], sa[i]) { // sa[i] starts first (ties go to the a side)
+			a := sa[i]
+			for k := j; k < len(sb) && startsBeforeEnd(sb[k], a); k++ {
+				emit(a.idx, sb[k].idx)
+			}
+			i++
+		} else {
+			b := sb[j]
+			for k := i; k < len(sa) && startsBeforeEnd(sa[k], b); k++ {
+				emit(sa[k].idx, b.idx)
+			}
+			j++
+		}
+	}
+}
+
+// sweepItems extracts and sorts one side's intervals by start, -∞ first.
+func sweepItems(attr string, idxs []int, envs []constraint.Envelope) []sweepItem {
+	out := make([]sweepItem, 0, len(idxs))
+	for _, idx := range idxs {
+		iv, ok := envs[idx].Interval(attr)
+		if ok && iv.IsEmpty() {
+			continue // unsatisfiable on its own; the dense path prunes it via Disjoint
+		}
+		it := sweepItem{idx: idx}
+		if ok {
+			it.lo, it.hasLo = iv.Lower, iv.HasLower
+			it.hi, it.hasHi = iv.Upper, iv.HasUpper
+		}
+		out = append(out, it)
+	}
+	sort.Slice(out, func(x, y int) bool { return loLess(out[x], out[y]) })
+	return out
+}
+
+// loLess is the sweep's total order on interval starts: -∞ first, then by
+// start value, ties by tuple index.
+func loLess(a, b sweepItem) bool {
+	if !a.hasLo || !b.hasLo {
+		if a.hasLo != b.hasLo {
+			return !a.hasLo
+		}
+		return a.idx < b.idx
+	}
+	if c := a.lo.Cmp(b.lo); c != 0 {
+		return c < 0
+	}
+	return a.idx < b.idx
+}
+
+// startsBeforeEnd reports x.lo ≤ y.hi under closed-endpoint semantics
+// with infinities — the sweep's conservative overlap half-condition (the
+// other half, y.lo ≤ x.hi, is implied by the merge order).
+func startsBeforeEnd(x, y sweepItem) bool {
+	if !x.hasLo || !y.hasHi {
+		return true
+	}
+	return x.lo.Cmp(y.hi) <= 0
+}

@@ -1,0 +1,192 @@
+package cqa
+
+import (
+	"strings"
+	"testing"
+
+	"cdb/internal/datagen"
+	"cdb/internal/exec"
+	"cdb/internal/obs"
+	"cdb/internal/relation"
+)
+
+// pruneInputs builds the three workload shapes the filter is designed
+// around: skewed relational buckets (partition pruning), spatial clusters
+// with all-NULL ids (envelope + sweep pruning), and the plain BoxRelation
+// mix. Sizes stay small enough for the dense baseline to be cheap.
+func pruneInputs(t *testing.T) map[string][2]*relation.Relation {
+	t.Helper()
+	p := datagen.Scaled(10)
+	p.Seed = 19
+	p2 := p
+	p2.Seed = p.Seed + 1000
+	return map[string][2]*relation.Relation{
+		"boxes": {datagen.BoxRelation(p, 36, 4), datagen.BoxRelation(p2, 36, 4)},
+		"skewed": {datagen.SkewedBoxRelation(p, 36, 6),
+			datagen.SkewedBoxRelation(p2, 36, 6)},
+		"clustered": {datagen.ClusteredBoxRelation(p, 36, 5, 50, 99),
+			datagen.ClusteredBoxRelation(p2, 36, 5, 50, 99)},
+	}
+}
+
+// TestPruningEquivalence is the filter's acceptance contract: with the
+// candidate filter on, every binary operator produces byte-identical
+// output (same tuples, same order) to the dense nested loop, sequentially
+// and under the pool, on every workload shape — pruned pairs are exactly
+// pairs the refine step would have rejected anyway.
+func TestPruningEquivalence(t *testing.T) {
+	ops := map[string]func(ec *exec.Context, r1, r2 *relation.Relation) (*relation.Relation, error){
+		"join":       JoinCtx,
+		"intersect":  IntersectCtx,
+		"difference": DifferenceCtx,
+	}
+	ctxs := map[string]func() (dense, filtered *exec.Context){
+		"par1": func() (*exec.Context, *exec.Context) {
+			return &exec.Context{Parallelism: 1, SeqThreshold: 1, NoPrune: true},
+				&exec.Context{Parallelism: 1, SeqThreshold: 1}
+		},
+		"par4": func() (*exec.Context, *exec.Context) {
+			return &exec.Context{Parallelism: 4, SeqThreshold: 1, NoPrune: true},
+				&exec.Context{Parallelism: 4, SeqThreshold: 1}
+		},
+	}
+	for wName, pair := range pruneInputs(t) {
+		for opName, op := range ops {
+			for ctxName, mk := range ctxs {
+				ecDense, ecFilt := mk()
+				want, err := op(ecDense, pair[0], pair[1])
+				if err != nil {
+					t.Fatalf("%s %s %s dense: %v", wName, opName, ctxName, err)
+				}
+				got, err := op(ecFilt, pair[0], pair[1])
+				if err != nil {
+					t.Fatalf("%s %s %s filtered: %v", wName, opName, ctxName, err)
+				}
+				if dump(got) != dump(want) {
+					t.Errorf("%s %s %s: filtered output diverges from dense\ndense:\n%s\nfiltered:\n%s",
+						wName, opName, ctxName, dump(want), dump(got))
+				}
+			}
+		}
+	}
+}
+
+// TestSweepMatchesDenseCandidates: the interval sweep and the dense
+// bucket loop enumerate the same candidate set — forced to each side of
+// the crossover via SweepThreshold, the plans must be identical.
+func TestSweepMatchesDenseCandidates(t *testing.T) {
+	p := datagen.Scaled(10)
+	p.Seed = 23
+	p2 := p
+	p2.Seed = p.Seed + 1000
+	for name, pair := range map[string][2]*relation.Relation{
+		// All-NULL ids: one bucket, so the crossover decision is global.
+		"clustered": {datagen.ClusteredBoxRelation(p, 40, 6, 60, 99),
+			datagen.ClusteredBoxRelation(p2, 40, 6, 60, 99)},
+		"skewed": {datagen.SkewedBoxRelation(p, 40, 5),
+			datagen.SkewedBoxRelation(p2, 40, 5)},
+	} {
+		t1s, t2s := pair[0].Tuples(), pair[1].Tuples()
+		sharedCon := []string{"x", "y"}
+		sharedRel := []string{"id"}
+		ecSweep := &exec.Context{SweepThreshold: 1}       // every bucket sweeps
+		ecDense := &exec.Context{SweepThreshold: 1 << 30} // every bucket is dense
+		sweep := pairCandidates(ecSweep, t1s, t2s, sharedRel, sharedCon)
+		dense := pairCandidates(ecDense, t1s, t2s, sharedRel, sharedCon)
+		if sweep.total != dense.total {
+			t.Fatalf("%s: totals differ: %d vs %d", name, sweep.total, dense.total)
+		}
+		if len(sweep.cands) != len(dense.cands) {
+			t.Fatalf("%s: sweep found %d candidates, dense loop %d",
+				name, len(sweep.cands), len(dense.cands))
+		}
+		for i := range sweep.cands {
+			if sweep.cands[i] != dense.cands[i] {
+				t.Fatalf("%s: candidate %d differs: %d vs %d",
+					name, i, sweep.cands[i], dense.cands[i])
+			}
+		}
+		if sweep.pruned() == 0 {
+			t.Errorf("%s: filter pruned nothing; the fixture is too easy", name)
+		}
+	}
+}
+
+// TestPairsStatsConsistent: the filter's pairs/filtered counters agree
+// between the flat stats records, the span tree and the metric families —
+// the invariant the explain tests rely on.
+func TestPairsStatsConsistent(t *testing.T) {
+	p := datagen.Scaled(10)
+	p.Seed = 29
+	p2 := p
+	p2.Seed = p.Seed + 1000
+	r1 := datagen.SkewedBoxRelation(p, 30, 6)
+	r2 := datagen.SkewedBoxRelation(p2, 30, 6)
+	ec := &exec.Context{Parallelism: 4, SeqThreshold: 1}
+	ec.Tracer = obs.NewTracer()
+	reg := obs.NewRegistry()
+	ec.InstallMetrics(reg)
+	if _, err := JoinCtx(ec, r1, r2); err != nil {
+		t.Fatal(err)
+	}
+	var pairs, filtered int64
+	for _, s := range ec.Stats() {
+		pairs += s.PairsTotal
+		filtered += s.PairsPruned
+	}
+	if pairs != int64(r1.Len()*r2.Len()) {
+		t.Errorf("PairsTotal = %d, want %d", pairs, r1.Len()*r2.Len())
+	}
+	if filtered == 0 {
+		t.Fatal("filter pruned nothing; the consistency check is vacuous")
+	}
+	roots := ec.Tracer.Roots()
+	if got := obs.SumCounter(roots, "pairs"); got != pairs {
+		t.Errorf("span pairs total = %d, stats = %d", got, pairs)
+	}
+	if got := obs.SumCounter(roots, "filtered"); got != filtered {
+		t.Errorf("span filtered total = %d, stats = %d", got, filtered)
+	}
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"cqa_pairs_considered_total", "cqa_pairs_pruned_total"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("metrics output missing %s:\n%s", want, buf.String())
+		}
+	}
+}
+
+// TestUnionStats: union runs on the pool like the other operators and
+// records one stats row (the recorder-consistency fix).
+func TestUnionStats(t *testing.T) {
+	r1, r2 := parInputs(t, 31, 30, 30, 5)
+	ec := &exec.Context{Parallelism: 4, SeqThreshold: 1}
+	out, err := UnionCtx(ec, r1, r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := ec.Stats()
+	if len(stats) != 1 || stats[0].Op != "union" {
+		t.Fatalf("stats = %+v, want one union record", stats)
+	}
+	s := stats[0]
+	if s.TuplesIn != int64(r1.Len()+r2.Len()) {
+		t.Errorf("TuplesIn = %d, want %d", s.TuplesIn, r1.Len()+r2.Len())
+	}
+	if s.TuplesOut != int64(out.Len()) {
+		t.Errorf("TuplesOut = %d, want %d", s.TuplesOut, out.Len())
+	}
+	if !s.Parallel {
+		t.Error("union at threshold 1 over 60 tuples should report Parallel")
+	}
+
+	ecSeq := &exec.Context{Parallelism: 4, SeqThreshold: 1 << 20}
+	if _, err := UnionCtx(ecSeq, r1, r2); err != nil {
+		t.Fatal(err)
+	}
+	if ecSeq.Stats()[0].Parallel {
+		t.Error("union below SeqThreshold must not report Parallel")
+	}
+}

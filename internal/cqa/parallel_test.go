@@ -174,16 +174,40 @@ func TestOperatorStats(t *testing.T) {
 	if s.TuplesOut != int64(out.Len()) {
 		t.Errorf("TuplesOut = %d, want %d", s.TuplesOut, out.Len())
 	}
-	// No shared relational attributes: every pair is satisfiability-checked.
-	if want := int64(r1.Len() * r2b.Len()); s.SatChecks != want {
-		t.Errorf("SatChecks = %d, want %d", s.SatChecks, want)
+	// No shared relational attributes: the filter considers every pair,
+	// and each pair is either envelope-pruned or satisfiability-checked.
+	if want := int64(r1.Len() * r2b.Len()); s.PairsTotal != want {
+		t.Errorf("PairsTotal = %d, want %d", s.PairsTotal, want)
 	}
-	if s.PrunedUnsat != s.SatChecks-s.TuplesOut {
-		t.Errorf("PrunedUnsat = %d, want SatChecks-TuplesOut = %d",
-			s.PrunedUnsat, s.SatChecks-s.TuplesOut)
+	if want := s.PairsTotal - s.PairsPruned; s.SatChecks != want {
+		t.Errorf("SatChecks = %d, want PairsTotal-PairsPruned = %d", s.SatChecks, want)
+	}
+	// pruned = filter rejects + unsatisfiable sat decisions, so every
+	// candidate not in the output is accounted for exactly once.
+	if s.PrunedUnsat != s.PairsTotal-s.TuplesOut {
+		t.Errorf("PrunedUnsat = %d, want PairsTotal-TuplesOut = %d",
+			s.PrunedUnsat, s.PairsTotal-s.TuplesOut)
 	}
 	if !s.Parallel {
 		t.Error("join over 900 pairs at threshold 1 should report Parallel")
+	}
+
+	// With the filter off, the dense loop checks every pair.
+	ecDense := &exec.Context{Parallelism: 4, SeqThreshold: 1, NoPrune: true}
+	if _, err := JoinCtx(ecDense, r1, r2b); err != nil {
+		t.Fatal(err)
+	}
+	d := ecDense.Stats()[0]
+	if want := int64(r1.Len() * r2b.Len()); d.SatChecks != want {
+		t.Errorf("dense SatChecks = %d, want %d", d.SatChecks, want)
+	}
+	if d.PairsTotal != d.SatChecks || d.PairsPruned != 0 {
+		t.Errorf("dense PairsTotal/PairsPruned = %d/%d, want %d/0",
+			d.PairsTotal, d.PairsPruned, d.SatChecks)
+	}
+	if d.PrunedUnsat != d.SatChecks-d.TuplesOut {
+		t.Errorf("dense PrunedUnsat = %d, want SatChecks-TuplesOut = %d",
+			d.PrunedUnsat, d.SatChecks-d.TuplesOut)
 	}
 
 	// Threshold fallback: same join with a huge threshold stays sequential.

@@ -209,3 +209,88 @@ func BoxRelation(p Params, n, idMod int) *relation.Relation {
 	}
 	return r
 }
+
+// boxTuple materialises one rectangle as a constraint tuple over the
+// BoxRelation schema, with the relational id left NULL when id is empty.
+func boxTuple(b rstar.Rect, id string) relation.Tuple {
+	rvals := map[string]relation.Value{}
+	if id != "" {
+		rvals["id"] = relation.Str(id)
+	}
+	con := constraint.And(
+		constraint.GeConst("x", rational.FromInt(int64(b.Min[0]))),
+		constraint.LeConst("x", rational.FromInt(int64(b.Max[0]))),
+		constraint.GeConst("y", rational.FromInt(int64(b.Min[1]))),
+		constraint.LeConst("y", rational.FromInt(int64(b.Max[1]))),
+	)
+	return relation.NewTuple(rvals, con)
+}
+
+// SkewedBoxRelation is the BoxRelation variant with a Zipf-skewed
+// relational part: ids are drawn from idBuckets values with exponent 1.5
+// (a few very popular ids, a long tail of rare ones), and every eleventh
+// tuple leaves id NULL. Boxes still spread over the full coordinate
+// range, so relational-part partitioning — not constraint geometry — is
+// what separates the tuples. Deterministic in p.Seed.
+func SkewedBoxRelation(p Params, n, idBuckets int) *relation.Relation {
+	if idBuckets < 1 {
+		idBuckets = 1
+	}
+	rng := rand.New(rand.NewSource(p.Seed + 5))
+	zipf := rand.NewZipf(rng, 1.5, 1, uint64(idBuckets-1))
+	boxes := Boxes(p)
+	if n > len(boxes) {
+		n = len(boxes)
+	}
+	s := schema.MustNew(schema.Rel("id", schema.String), schema.Con("x"), schema.Con("y"))
+	r := relation.New(s)
+	for i := 0; i < n; i++ {
+		id := ""
+		if i%11 != 0 {
+			id = fmt.Sprintf("s%d", zipf.Uint64())
+		}
+		r.MustAdd(boxTuple(boxes[i], id))
+	}
+	return r
+}
+
+// ClusteredBoxRelation is the BoxRelation variant with spatially
+// clustered constraint parts and an all-NULL relational part: boxes
+// gather around `clusters` shared centers (Gaussian spread around each),
+// so envelope pruning and the interval sweep — not relational
+// partitioning — separate the tuples. centerSeed draws the cluster
+// centers independently of p.Seed, so two relations built with different
+// p.Seed but the same centerSeed share cluster geography (their clusters
+// overlap; everything else is disjoint). Deterministic in both seeds.
+func ClusteredBoxRelation(p Params, n, clusters int, spread float64, centerSeed int64) *relation.Relation {
+	if clusters < 1 {
+		clusters = 1
+	}
+	crng := rand.New(rand.NewSource(centerSeed))
+	type center struct{ x, y float64 }
+	centers := make([]center, clusters)
+	for i := range centers {
+		centers[i] = center{crng.Float64() * p.CoordMax, crng.Float64() * p.CoordMax}
+	}
+	rng := rand.New(rand.NewSource(p.Seed + 6))
+	s := schema.MustNew(schema.Rel("id", schema.String), schema.Con("x"), schema.Con("y"))
+	r := relation.New(s)
+	clamp := func(v float64) float64 {
+		if v < 0 {
+			return 0
+		}
+		if v > p.CoordMax {
+			return p.CoordMax
+		}
+		return v
+	}
+	for i := 0; i < n; i++ {
+		c := centers[rng.Intn(clusters)]
+		x := clamp(c.x + rng.NormFloat64()*spread)
+		y := clamp(c.y + rng.NormFloat64()*spread)
+		w := p.SizeMin + rng.Float64()*(p.SizeMax-p.SizeMin)
+		h := p.SizeMin + rng.Float64()*(p.SizeMax-p.SizeMin)
+		r.MustAdd(boxTuple(rstar.Rect2(x, y, x+w, y+h), ""))
+	}
+	return r
+}

@@ -1,0 +1,91 @@
+package datagen
+
+import (
+	"testing"
+
+	"cdb/internal/relation"
+)
+
+// TestSkewedBoxRelationShape: deterministic, Zipf-skewed ids (the most
+// popular bucket dominates), NULL ids sprinkled in.
+func TestSkewedBoxRelationShape(t *testing.T) {
+	p := Scaled(10)
+	p.Seed = 5
+	r := SkewedBoxRelation(p, 120, 10)
+	if r.Len() != 120 {
+		t.Fatalf("Len = %d, want 120", r.Len())
+	}
+	if r2 := SkewedBoxRelation(p, 120, 10); r.String() != r2.String() {
+		t.Fatal("same params produced different relations")
+	}
+	counts := map[string]int{}
+	nulls := 0
+	for _, tp := range r.Tuples() {
+		v, ok := tp.RVal("id")
+		if !ok {
+			nulls++
+			continue
+		}
+		counts[v.Key()]++
+	}
+	if nulls == 0 {
+		t.Error("no NULL ids; the narrow-semantics path is unexercised")
+	}
+	max, total := 0, 0
+	for _, n := range counts {
+		total += n
+		if n > max {
+			max = n
+		}
+	}
+	// Zipf with exponent 1.5: the top bucket should hold well over a
+	// uniform share (total/10).
+	if max*3 < total {
+		t.Errorf("top id bucket holds %d of %d bound ids; distribution not skewed", max, total)
+	}
+}
+
+// TestClusteredBoxRelationShape: deterministic, all-NULL relational part,
+// boxes gathered around shared centers — two relations with different
+// tuple seeds but one centerSeed must overlap far more than two with
+// different centerSeeds.
+func TestClusteredBoxRelationShape(t *testing.T) {
+	p := Scaled(10)
+	p.Seed = 5
+	p2 := p
+	p2.Seed = 1005
+	r := ClusteredBoxRelation(p, 80, 4, 40, 7)
+	if r.Len() != 80 {
+		t.Fatalf("Len = %d, want 80", r.Len())
+	}
+	if r2 := ClusteredBoxRelation(p, 80, 4, 40, 7); r.String() != r2.String() {
+		t.Fatal("same params produced different relations")
+	}
+	for i, tp := range r.Tuples() {
+		if _, ok := tp.RVal("id"); ok {
+			t.Fatalf("tuple %d has a bound id; clustered workload should be all-NULL", i)
+		}
+	}
+	sameGeo := ClusteredBoxRelation(p2, 80, 4, 40, 7)
+	otherGeo := ClusteredBoxRelation(p2, 80, 4, 40, 8888)
+	same := overlapCount(r, sameGeo)
+	other := overlapCount(r, otherGeo)
+	if same <= other {
+		t.Errorf("shared centerSeed gives %d overlapping pairs, distinct centers %d; clustering has no effect",
+			same, other)
+	}
+}
+
+// overlapCount counts tuple pairs whose merged constraint parts are
+// satisfiable (boxes intersect).
+func overlapCount(r1, r2 *relation.Relation) int {
+	n := 0
+	for _, t1 := range r1.Tuples() {
+		for _, t2 := range r2.Tuples() {
+			if t1.Constraint().Merge(t2.Constraint()).Canon().IsSatisfiable() {
+				n++
+			}
+		}
+	}
+	return n
+}

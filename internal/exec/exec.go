@@ -43,6 +43,14 @@ import (
 // the pool.
 const DefaultSeqThreshold = 64
 
+// DefaultSweepThreshold is the bucket pair count (|bucket1|·|bucket2|)
+// below which the binary operators' filter stage enumerates candidates
+// with the dense nested loop instead of the sorted interval sweep, when
+// the Context does not set its own threshold. Sorting two tiny buckets
+// costs more than scanning them — the same crossover reasoning as
+// DefaultSeqThreshold.
+const DefaultSweepThreshold = 64
+
 // Context carries the parallel execution policy and collects per-operator
 // statistics. The zero value and the nil pointer are both valid: a nil
 // *Context executes sequentially and records nothing, the zero value
@@ -61,6 +69,20 @@ type Context struct {
 	// run sequentially. Zero or negative means DefaultSeqThreshold; set
 	// it to 1 to parallelise everything.
 	SeqThreshold int
+
+	// NoPrune disables the filter-and-refine candidate pruning in the
+	// binary CQA operators (join, intersect, difference): envelope
+	// rejects, relational-part partitioning and the interval sweep. The
+	// zero value — pruning on — is correct for all callers, including the
+	// nil Context, because the filter is a pure optimisation: outputs are
+	// byte-identical either way. Set it to measure the dense nested loop
+	// (cdbbench) or to rule the filter out while debugging.
+	NoPrune bool
+
+	// SweepThreshold is the bucket pair count below which the filter
+	// stage's candidate enumeration falls back from the interval sweep to
+	// the dense loop. Zero or negative means DefaultSweepThreshold.
+	SweepThreshold int
 
 	// SatCache, when non-nil, memoizes the satisfiability decisions that
 	// operators route through this context (see OpRecorder.Satisfiable and
@@ -110,6 +132,19 @@ func (c *Context) threshold() int {
 // worker pool (rather than run inline).
 func (c *Context) ParallelFor(n int) bool {
 	return c != nil && c.Workers() > 1 && n >= c.threshold()
+}
+
+// PruneEnabled reports whether the binary operators should run their
+// filter stage. True on the nil Context: pruning never changes output,
+// so it needs no opt-in.
+func (c *Context) PruneEnabled() bool { return c == nil || !c.NoPrune }
+
+// SweepSize returns the effective sweep crossover threshold.
+func (c *Context) SweepSize() int {
+	if c == nil || c.SweepThreshold <= 0 {
+		return DefaultSweepThreshold
+	}
+	return c.SweepThreshold
 }
 
 // Satisfiable decides j through the context's sat-cache when one is

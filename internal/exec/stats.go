@@ -17,7 +17,9 @@ type OpStats struct {
 	TuplesIn    int64         // input tuples (both sides summed for binary operators)
 	TuplesOut   int64         // output tuples
 	SatChecks   int64         // satisfiability decisions made
-	PrunedUnsat int64         // candidates discarded as unsatisfiable
+	PrunedUnsat int64         // candidates discarded: filter-stage rejects plus unsatisfiable sat decisions
+	PairsTotal  int64         // binary operators: candidate tuple pairs enumerable (the dense n·m space)
+	PairsPruned int64         // binary operators: pairs rejected by the filter stage before any constraint work
 	CacheHits   int64         // sat decisions answered by the memoized engine
 	CacheMisses int64         // sat decisions that ran the raw eliminator (cache enabled)
 	FMDecisions int64         // raw Fourier-Motzkin eliminator runs during the operator (process-wide delta; attribution is exact when one operator runs at a time)
@@ -38,6 +40,8 @@ type OpRecorder struct {
 	span        *obs.Span
 	satChecks   atomic.Int64
 	pruned      atomic.Int64
+	pairsTotal  atomic.Int64
+	pairsPruned atomic.Int64
 	tuplesOut   atomic.Int64
 	cacheHits   atomic.Int64
 	cacheMisses atomic.Int64
@@ -108,6 +112,22 @@ func (r *OpRecorder) SatFunc() constraint.SatFunc {
 	return r.Satisfiable
 }
 
+// Pairs records a binary operator's filter stage: total is the candidate
+// pair space the dense nested loop would enumerate, pruned the pairs the
+// filter rejected before any constraint work (partition bucket mismatch
+// or disjoint envelopes). Filter-pruned pairs also count as pruned
+// candidates — the -stats `pruned` column reads filter rejects plus
+// unsatisfiable sat decisions, so with the filter off the same pairs
+// surface there through SatCheck instead. Safe from pool workers.
+func (r *OpRecorder) Pairs(total, pruned int64) {
+	if r == nil {
+		return
+	}
+	r.pairsTotal.Add(total)
+	r.pairsPruned.Add(pruned)
+	r.pruned.Add(pruned)
+}
+
 // AddOut records n output tuples.
 func (r *OpRecorder) AddOut(n int) {
 	if r == nil {
@@ -131,6 +151,8 @@ func (r *OpRecorder) Done(parallel bool) {
 		TuplesOut:   r.tuplesOut.Load(),
 		SatChecks:   r.satChecks.Load(),
 		PrunedUnsat: r.pruned.Load(),
+		PairsTotal:  r.pairsTotal.Load(),
+		PairsPruned: r.pairsPruned.Load(),
 		CacheHits:   r.cacheHits.Load(),
 		CacheMisses: r.cacheMisses.Load(),
 		FMDecisions: constraint.DecisionCount() - r.fmStart,
@@ -147,6 +169,8 @@ func (r *OpRecorder) Done(parallel bool) {
 		setNonZero("out", s.TuplesOut)
 		setNonZero("sat", s.SatChecks)
 		setNonZero("pruned", s.PrunedUnsat)
+		setNonZero("pairs", s.PairsTotal)
+		setNonZero("filtered", s.PairsPruned)
 		setNonZero("hit", s.CacheHits)
 		setNonZero("miss", s.CacheMisses)
 		setNonZero("fm", s.FMDecisions)
@@ -160,6 +184,8 @@ func (r *OpRecorder) Done(parallel bool) {
 		addOpMetric(m, "cdb_op_tuples_out_total", "Output tuples per operator.", r.op, s.TuplesOut)
 		addOpMetric(m, "cdb_op_sat_checks_total", "Satisfiability decisions per operator.", r.op, s.SatChecks)
 		addOpMetric(m, "cdb_op_pruned_unsat_total", "Candidates pruned as unsatisfiable per operator.", r.op, s.PrunedUnsat)
+		addOpMetric(m, "cqa_pairs_considered_total", "Candidate tuple pairs enumerable by the binary CQA operators (the dense pair space).", r.op, s.PairsTotal)
+		addOpMetric(m, "cqa_pairs_pruned_total", "Candidate pairs rejected by the filter stage (partition + envelope) before any satisfiability work.", r.op, s.PairsPruned)
 		addOpMetric(m, "cdb_op_cache_hits_total", "Sat-cache hits per operator.", r.op, s.CacheHits)
 		addOpMetric(m, "cdb_op_cache_misses_total", "Sat-cache misses per operator.", r.op, s.CacheMisses)
 		m.HistogramVec("cdb_op_seconds", "Operator wall time.", "op", obs.DefLatencyBuckets).
@@ -215,6 +241,8 @@ func (c *Context) Summary() []OpStats {
 		out[i].TuplesOut += s.TuplesOut
 		out[i].SatChecks += s.SatChecks
 		out[i].PrunedUnsat += s.PrunedUnsat
+		out[i].PairsTotal += s.PairsTotal
+		out[i].PairsPruned += s.PairsPruned
 		out[i].CacheHits += s.CacheHits
 		out[i].CacheMisses += s.CacheMisses
 		out[i].FMDecisions += s.FMDecisions
@@ -229,14 +257,15 @@ func (c *Context) Summary() []OpStats {
 func FormatStats(stats []OpStats) string {
 	var b strings.Builder
 	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
-	fmt.Fprintln(w, "operator\tin\tout\tsat-checks\tpruned\tcache-hit\tcache-miss\tfm\twall\tmode")
+	fmt.Fprintln(w, "operator\tin\tout\tpairs\tfiltered\tsat-checks\tpruned\tcache-hit\tcache-miss\tfm\twall\tmode")
 	for _, s := range stats {
 		mode := "seq"
 		if s.Parallel {
 			mode = "par"
 		}
-		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%s\t%s\n",
-			s.Op, s.TuplesIn, s.TuplesOut, s.SatChecks, s.PrunedUnsat,
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%s\t%s\n",
+			s.Op, s.TuplesIn, s.TuplesOut, s.PairsTotal, s.PairsPruned,
+			s.SatChecks, s.PrunedUnsat,
 			s.CacheHits, s.CacheMisses, s.FMDecisions,
 			s.Wall.Round(time.Microsecond), mode)
 	}

@@ -13,6 +13,7 @@ import (
 // -stats table columns where both exist.
 var counterOrder = []string{
 	"in", "out", "sat", "pruned", "hit", "miss", "fm",
+	"pairs", "filtered",
 	"items", "workers", "relations", "tuples",
 	"queue_ns", "busy_ns", "maxbusy_ns",
 }

@@ -1,0 +1,82 @@
+package relation
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file implements relational-part hash partitioning — the second leg
+// of the binary CQA operators' filter-and-refine split (package cqa).
+// Join's shared-relational-attribute guard and difference's
+// SameRelationalPart scan are both NULL-safe identity tests; partitioning
+// each side once on that identity turns the O(n·m) guard evaluations into
+// bucket lookups, so only pairs inside a matching bucket reach the
+// envelope filter and the refine step.
+
+// PartitionKey returns the NULL-safe identity key of t's bindings over
+// attrs: two tuples get equal keys iff their values are Identical on
+// every listed attribute (an absent binding is NULL, and NULL is
+// identical to NULL — the paper's narrow semantics). Each value key is
+// length-prefixed so adjacent fields cannot alias.
+func (t Tuple) PartitionKey(attrs []string) string {
+	var b strings.Builder
+	for _, a := range attrs {
+		v, _ := t.RVal(a) // NULL when unbound
+		k := v.Key()
+		b.WriteString(strconv.Itoa(len(k)))
+		b.WriteByte(':')
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+// Partition is a hash index of a tuple slice on its relational identity
+// over a fixed attribute list. Buckets hold indexes into the indexed
+// slice in input order, so bucket-driven pair enumeration preserves the
+// sequential nested-loop order within a bucket.
+type Partition struct {
+	attrs   []string
+	buckets map[string][]int
+}
+
+// NewPartition indexes ts on the given attributes (see PartitionKey).
+// Indexing the full relational attribute set of a schema partitions
+// exactly by SameRelationalPart: bindings outside the schema cannot
+// exist, and absent bindings read as NULL on both sides.
+func NewPartition(ts []Tuple, attrs []string) *Partition {
+	p := &Partition{
+		attrs:   append([]string{}, attrs...),
+		buckets: make(map[string][]int),
+	}
+	for i := range ts {
+		k := ts[i].PartitionKey(p.attrs)
+		p.buckets[k] = append(p.buckets[k], i)
+	}
+	return p
+}
+
+// Lookup returns the indexes of the indexed tuples whose identity over
+// the partition's attributes matches t's, in input order. The result
+// must not be mutated.
+func (p *Partition) Lookup(t Tuple) []int {
+	return p.buckets[t.PartitionKey(p.attrs)]
+}
+
+// Bucket returns the indexes under an explicit key (see PartitionKey).
+// The result must not be mutated.
+func (p *Partition) Bucket(key string) []int { return p.buckets[key] }
+
+// Keys returns the bucket keys in sorted order, for deterministic
+// iteration over the buckets.
+func (p *Partition) Keys() []string {
+	out := make([]string, 0, len(p.buckets))
+	for k := range p.buckets {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of buckets.
+func (p *Partition) Len() int { return len(p.buckets) }

@@ -34,6 +34,24 @@ func NewTuple(rvals map[string]Value, con constraint.Conjunction) Tuple {
 	return Tuple{rvals: m, con: con}
 }
 
+// JoinTuple returns the natural-join combination of t and o: the union of
+// their relational bindings (o's win on shared names — the join guard has
+// already checked shared bindings identical) with con as the constraint
+// part. It is the refine-stage fast path of the CQA join: one map
+// allocation per surviving pair, instead of the copy-merge-copy that
+// composing RVals with NewTuple costs. Safe because tuples never store
+// NULL bindings, so the merged map preserves the invariant unfiltered.
+func JoinTuple(t, o Tuple, con constraint.Conjunction) Tuple {
+	m := make(map[string]Value, len(t.rvals)+len(o.rvals))
+	for k, v := range t.rvals {
+		m[k] = v
+	}
+	for k, v := range o.rvals {
+		m[k] = v
+	}
+	return Tuple{rvals: m, con: con}
+}
+
 // ConstraintTuple builds a tuple with only a constraint part.
 func ConstraintTuple(con constraint.Conjunction) Tuple {
 	return Tuple{rvals: map[string]Value{}, con: con}

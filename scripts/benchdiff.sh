@@ -1,0 +1,9 @@
+#!/bin/sh
+# benchdiff.sh OLD.json NEW.json [threshold-pct]
+#
+# Compares two BENCH_*.json measurement files (any cdbbench -json shape)
+# and exits nonzero when a wall-time leaf regressed beyond the threshold
+# (default 10%). Thin wrapper over scripts/benchdiff.
+set -eu
+cd "$(dirname "$0")/.."
+exec go run ./scripts/benchdiff "$@"

@@ -1,0 +1,151 @@
+// Command benchdiff compares two BENCH_*.json measurement files and fails
+// when any wall-time leaf regressed beyond a threshold. It is
+// shape-agnostic: both files are walked generically and every numeric
+// leaf whose key ends in "_ms" is matched by its JSON path (object keys
+// joined with '.', array elements keyed by the sibling string fields that
+// identify them, falling back to the index). Leaves present in only one
+// file are reported but do not fail the run — experiments grow columns.
+//
+// Usage:
+//
+//	benchdiff OLD.json NEW.json [threshold-pct]
+//
+// threshold-pct defaults to 10: a new wall time above old*1.10 fails.
+// Zero or negative old values never fail (nothing meaningful to compare).
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) < 2 || len(args) > 3 {
+		return fmt.Errorf("usage: benchdiff OLD.json NEW.json [threshold-pct]")
+	}
+	threshold := 10.0
+	if len(args) == 3 {
+		v, err := strconv.ParseFloat(args[2], 64)
+		if err != nil {
+			return fmt.Errorf("bad threshold %q: %w", args[2], err)
+		}
+		threshold = v
+	}
+	old, err := load(args[0])
+	if err != nil {
+		return err
+	}
+	new_, err := load(args[1])
+	if err != nil {
+		return err
+	}
+	oldMS, newMS := map[string]float64{}, map[string]float64{}
+	collect(old, "", oldMS)
+	collect(new_, "", newMS)
+
+	paths := make([]string, 0, len(oldMS))
+	for p := range oldMS {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	regressions := 0
+	for _, p := range paths {
+		o := oldMS[p]
+		n, ok := newMS[p]
+		if !ok {
+			fmt.Printf("MISSING  %-60s old %.3fms, absent in new\n", p, o)
+			continue
+		}
+		delta := 0.0
+		if o > 0 {
+			delta = 100 * (n - o) / o
+		}
+		status := "ok"
+		if o > 0 && n > o*(1+threshold/100) {
+			status = "REGRESSION"
+			regressions++
+		}
+		fmt.Printf("%-10s %-60s %10.3fms -> %10.3fms  %+7.1f%%\n", status, p, o, n, delta)
+	}
+	for p, n := range newMS {
+		if _, ok := oldMS[p]; !ok {
+			fmt.Printf("NEW      %-60s %.3fms (no baseline)\n", p, n)
+		}
+	}
+	if regressions > 0 {
+		return fmt.Errorf("%d wall-time leaves regressed more than %.0f%%", regressions, threshold)
+	}
+	fmt.Printf("no wall-time regressions beyond %.0f%%\n", threshold)
+	return nil
+}
+
+func load(path string) (any, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var v any
+	if err := json.Unmarshal(b, &v); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return v, nil
+}
+
+// collect walks v and records every numeric leaf whose key ends in "_ms"
+// under its identifying path.
+func collect(v any, path string, out map[string]float64) {
+	switch x := v.(type) {
+	case map[string]any:
+		for k, child := range x {
+			p := k
+			if path != "" {
+				p = path + "." + k
+			}
+			if f, ok := child.(float64); ok && strings.HasSuffix(k, "_ms") {
+				out[p] = f
+				continue
+			}
+			collect(child, p, out)
+		}
+	case []any:
+		for i, child := range x {
+			collect(child, path+"."+elemKey(child, i), out)
+		}
+	}
+}
+
+// elemKey identifies an array element by its string-valued fields (e.g.
+// {"workload":"dense","operator":"join"} -> "dense/join"), falling back
+// to the index, so reordered result arrays still match up.
+func elemKey(v any, i int) string {
+	m, ok := v.(map[string]any)
+	if !ok {
+		return strconv.Itoa(i)
+	}
+	keys := make([]string, 0, len(m))
+	for k, val := range m {
+		if _, isStr := val.(string); isStr {
+			keys = append(keys, k)
+		}
+	}
+	if len(keys) == 0 {
+		return strconv.Itoa(i)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for j, k := range keys {
+		parts[j] = m[k].(string)
+	}
+	return strings.Join(parts, "/")
+}

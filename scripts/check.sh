@@ -34,4 +34,13 @@ go run ./cmd/cqacdb -demo hurricane -explain -stats \
     -e 'R = select landId = A from Landownership' >/dev/null
 go run ./cmd/cdbbench -expt cqa -par 2 -cqasize 8 >/dev/null
 go run ./cmd/cdbbench -expt diff -n 25 -seed 7 -par 2 >/dev/null
+
+# Prune smoke: the filter-and-refine experiment checks filtered output is
+# byte-identical to the dense loop on every workload shape, then benchdiff
+# self-compares the JSON (validates the regression tool without wall-time
+# flakiness).
+echo '>> prune smoke'
+go run ./cmd/cdbbench -expt prune -cqasize 16 -rounds 1 \
+    -json /tmp/cdb_prune_smoke.json >/dev/null
+scripts/benchdiff.sh /tmp/cdb_prune_smoke.json /tmp/cdb_prune_smoke.json >/dev/null
 echo 'OK'
