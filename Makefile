@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-parallel bench-canon bench-prune obs-demo fuzz diff
+.PHONY: build test check bench bench-parallel bench-canon bench-prune obs-demo fuzz diff serve
 
 build:
 	$(GO) build ./...
@@ -18,6 +18,11 @@ bench:
 
 bench-parallel:
 	$(GO) test -bench Parallel -benchtime 5x .
+
+# The multi-session HTTP server on the hurricane demo database (:8344).
+# See docs/SERVER.md for the API; SIGINT/SIGTERM drains and exits 0.
+serve:
+	$(GO) run ./cmd/cqacdbd -demo hurricane
 
 # EXPLAIN ANALYZE demo: the hurricane case study with the span tree and
 # the per-operator stats table. Add -metrics-addr 127.0.0.1:9190 to poke

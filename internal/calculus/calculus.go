@@ -324,6 +324,10 @@ func (p *Program) RunCtx(env cqa.Env, ec *exec.Context) (*relation.Relation, err
 	}
 	defined := map[string]bool{}
 	for _, r := range p.Rules {
+		// Deadline checkpoint between rules (see exec.Context.Ctx).
+		if err := ec.Err(); err != nil {
+			return nil, fmt.Errorf("calculus: line %d (%s): %w", r.Line, r.HeadName, err)
+		}
 		// Non-recursive check: the body must not mention the head (directly;
 		// earlier heads are fine because they are already materialised).
 		for _, atom := range r.Rels {

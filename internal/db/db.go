@@ -82,6 +82,15 @@ func (d *Database) Names() []string {
 	return append([]string{}, d.order...)
 }
 
+// TupleCount returns the total number of tuples across all relations.
+func (d *Database) TupleCount() int {
+	n := 0
+	for _, r := range d.rels {
+		n += r.Len()
+	}
+	return n
+}
+
 // Env returns the database as a CQA evaluation environment.
 func (d *Database) Env() cqa.Env {
 	env := make(cqa.Env, len(d.rels))
@@ -146,12 +155,8 @@ func (d *Database) Save(w io.Writer) error {
 func (d *Database) SaveCtx(w io.Writer, ec *exec.Context) error {
 	sp := ec.BeginSpan("db.save", "")
 	defer ec.EndSpan(sp)
-	tuples := 0
-	for _, r := range d.rels {
-		tuples += r.Len()
-	}
 	sp.Set("relations", int64(len(d.rels)))
-	sp.Set("tuples", int64(tuples))
+	sp.Set("tuples", int64(d.TupleCount()))
 	bw := bufio.NewWriter(w)
 	for _, name := range d.order {
 		r := d.rels[name]
@@ -220,12 +225,8 @@ func LoadCtx(r io.Reader, ec *exec.Context) (*Database, error) {
 	if err != nil {
 		return nil, err
 	}
-	tuples := 0
-	for _, rel := range d.rels {
-		tuples += rel.Len()
-	}
 	sp.Set("relations", int64(len(d.rels)))
-	sp.Set("tuples", int64(tuples))
+	sp.Set("tuples", int64(d.TupleCount()))
 	return d, nil
 }
 

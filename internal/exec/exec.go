@@ -27,6 +27,7 @@
 package exec
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -83,6 +84,18 @@ type Context struct {
 	// stage's candidate enumeration falls back from the interval sweep to
 	// the dense loop. Zero or negative means DefaultSweepThreshold.
 	SweepThreshold int
+
+	// Ctx, when non-nil, bounds every fan-out run under this context:
+	// Map (and through it each CQA operator's per-tuple loop) stops
+	// claiming work items once Ctx is done and returns Ctx's error, and
+	// the statement loops in the query and calculus front ends check it
+	// between statements. This is how a server-side deadline or a client
+	// disconnect stops a query mid-batch instead of burning workers to
+	// the end of the pair space. Nil — including on the nil Context —
+	// means never cancelled. Like the other policy fields it must not be
+	// replaced while an operator is running; the server serialises
+	// queries per session, which makes the per-request swap safe.
+	Ctx context.Context
 
 	// SatCache, when non-nil, memoizes the satisfiability decisions that
 	// operators route through this context (see OpRecorder.Satisfiable and
@@ -147,6 +160,17 @@ func (c *Context) SweepSize() int {
 	return c.SweepThreshold
 }
 
+// Err reports why the context's Ctx was cancelled: nil while it is live
+// (or when no Ctx is set), context.Canceled / context.DeadlineExceeded
+// after. Operators and statement loops call it at their checkpoints; the
+// nil Context is never cancelled.
+func (c *Context) Err() error {
+	if c == nil || c.Ctx == nil {
+		return nil
+	}
+	return c.Ctx.Err()
+}
+
 // Satisfiable decides j through the context's sat-cache when one is
 // configured (the second result reports a cache hit); otherwise — including
 // on the nil Context — it runs the raw decision procedure. Operator code
@@ -190,6 +214,15 @@ func (c *Context) SatFunc() constraint.SatFunc {
 // failures. fn must not mutate shared state without its own
 // synchronisation.
 //
+// When the context carries a Ctx and it is cancelled mid-batch, workers
+// stop claiming new indices the same way and Map returns the context's
+// error (fn errors from already-claimed indices still win, preserving
+// the lowest-index contract for work that actually ran). Indices that
+// were never claimed are simply not executed; a worker already inside
+// fn finishes that call — cancellation is a claim-time checkpoint, not
+// preemption — so fn should itself watch Ctx if a single item can block
+// for long.
+//
 // When the context traces (an operator span is open), the parallel path
 // opens a "fanout" child span recording the pool's shape and health:
 // items, workers, summed queue wait (delay between the fan-out start
@@ -202,6 +235,9 @@ func Map[T any](c *Context, n int, fn func(i int) (T, error)) ([]T, error) {
 	if !c.ParallelFor(n) {
 		out := make([]T, n)
 		for i := 0; i < n; i++ {
+			if err := c.Err(); err != nil {
+				return nil, err
+			}
 			v, err := fn(i)
 			if err != nil {
 				return nil, err
@@ -223,6 +259,10 @@ func Map[T any](c *Context, n int, fn func(i int) (T, error)) ([]T, error) {
 	if traced {
 		start = time.Now()
 	}
+	var done <-chan struct{}
+	if c != nil && c.Ctx != nil {
+		done = c.Ctx.Done()
+	}
 	var stop atomic.Bool
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -241,6 +281,14 @@ func Map[T any](c *Context, n int, fn func(i int) (T, error)) ([]T, error) {
 			for {
 				if stop.Load() {
 					return
+				}
+				if done != nil {
+					select {
+					case <-done:
+						stop.Store(true)
+						return
+					default:
+					}
 				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
@@ -273,6 +321,9 @@ func Map[T any](c *Context, n int, fn func(i int) (T, error)) ([]T, error) {
 		if err != nil {
 			return nil, err
 		}
+	}
+	if err := c.Err(); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -195,5 +196,119 @@ func TestFormatStats(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Fatalf("FormatStats output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestMapContextCancelParallel is the blocked-worker regression test for
+// the Ctx checkpoint: one worker is stuck inside fn while the caller's
+// deadline fires. The other worker must stop claiming indices (instead
+// of burning through the rest of the batch), and Map must surface the
+// context's error once the stuck call returns.
+func TestMapContextCancelParallel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	c := &Context{Parallelism: 2, SeqThreshold: 1, Ctx: ctx}
+	const n = 1000
+	release := make(chan struct{})
+	blocked := make(chan struct{})
+	var calls atomic.Int64
+	type result struct {
+		out []int
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		out, err := Map(c, n, func(i int) (int, error) {
+			calls.Add(1)
+			if i == 0 {
+				close(blocked) // signal: worker 0 is now stuck mid-item
+				<-release
+				return i, nil
+			}
+			// Every other item parks until cancellation so the test is
+			// deterministic: no worker can race through the batch before
+			// the deadline fires.
+			<-ctx.Done()
+			return i, nil
+		})
+		done <- result{out, err}
+	}()
+	<-blocked
+	cancel()
+	// The free worker observes Ctx at its next claim and stops; Map still
+	// waits for the stuck call (cancellation is not preemption).
+	select {
+	case <-done:
+		t.Fatal("Map returned while a worker was still blocked in fn")
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(release)
+	res := <-done
+	if !errors.Is(res.err, context.Canceled) {
+		t.Fatalf("Map error = %v, want context.Canceled", res.err)
+	}
+	if res.out != nil {
+		t.Fatalf("cancelled Map returned a result slice")
+	}
+	if got := calls.Load(); got >= n {
+		t.Fatalf("cancellation did not stop the batch: %d of %d items ran", got, n)
+	}
+}
+
+// TestMapContextCancelInline covers the sequential path: the inline loop
+// checks Ctx between items, so a mid-batch cancellation stops a
+// below-threshold fan-out too.
+func TestMapContextCancelInline(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	c := &Context{Parallelism: 1, Ctx: ctx}
+	var calls int
+	_, err := Map(c, 100, func(i int) (int, error) {
+		calls++
+		if i == 3 {
+			cancel()
+		}
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Map error = %v, want context.Canceled", err)
+	}
+	if calls != 4 {
+		t.Fatalf("inline Map ran %d items after cancel at item 3, want 4", calls)
+	}
+}
+
+// TestMapContextFnErrorWins: an fn error from an index that actually ran
+// takes precedence over the concurrent cancellation, preserving the
+// lowest-index-error contract for executed work.
+func TestMapContextFnErrorWins(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	boom := errors.New("boom")
+	c := &Context{Parallelism: 2, SeqThreshold: 1, Ctx: ctx}
+	_, err := Map(c, 8, func(i int) (int, error) {
+		if i == 0 {
+			cancel()
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("Map error = %v, want fn error to win over cancellation", err)
+	}
+}
+
+func TestContextErrNilSafety(t *testing.T) {
+	var c *Context
+	if err := c.Err(); err != nil {
+		t.Fatalf("nil Context Err = %v", err)
+	}
+	if err := (&Context{}).Err(); err != nil {
+		t.Fatalf("Ctx-less Context Err = %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := (&Context{Ctx: ctx}).Err(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Context Err = %v, want context.Canceled", err)
 	}
 }

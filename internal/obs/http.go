@@ -30,7 +30,6 @@ func ServeMetrics(addr string, reg *Registry) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("obs: metrics listener: %w", err)
 	}
-	reg.PublishExpvar("cdb")
 	srv := &http.Server{Handler: Handler(reg), ReadHeaderTimeout: 5 * time.Second}
 	go srv.Serve(ln)
 	return &Server{ln: ln, srv: srv}, nil
@@ -40,6 +39,19 @@ func ServeMetrics(addr string, reg *Registry) (*Server, error) {
 // embedding application can mount it on its own server).
 func Handler(reg *Registry) http.Handler {
 	mux := http.NewServeMux()
+	Mount(mux, reg)
+	return mux
+}
+
+// Mount registers the observability endpoints (/metrics, /debug/vars,
+// /debug/pprof/...) on an existing mux, so a process with an API server
+// of its own — cqacdbd — exposes them on the same listener instead of a
+// second port. The patterns carry no method or host, so they coexist
+// with method-qualified API routes on the same mux. The registry is
+// also published to expvar under "cdb" (once per process: expvar is
+// global, so the first registry mounted wins).
+func Mount(mux *http.ServeMux, reg *Registry) {
+	reg.PublishExpvar("cdb")
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		reg.WritePrometheus(w)
@@ -50,7 +62,6 @@ func Handler(reg *Registry) http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	return mux
 }
 
 // Addr returns the listener's bound address (useful with ":0").

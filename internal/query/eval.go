@@ -52,6 +52,13 @@ func (prog *Program) run(env cqa.Env, optimize bool, ec *exec.Context) (*relatio
 	}
 	var last *relation.Relation
 	for _, st := range prog.Stmts {
+		// Deadline checkpoint between statements: a cancelled execution
+		// context (server timeout, client disconnect) stops the program
+		// here even when the next statement would run below the fan-out
+		// threshold.
+		if err := ec.Err(); err != nil {
+			return nil, fmt.Errorf("query: line %d (%s): %w", st.Line, st.Target, err)
+		}
 		sp := ec.BeginSpan("stmt", st.Target+" = "+st.Expr.String())
 		r, err := evalExpr(st.Expr, scratch, optimize, ec)
 		if err != nil {

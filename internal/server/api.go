@@ -1,0 +1,432 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"cdb/internal/calculus"
+	"cdb/internal/exec"
+	"cdb/internal/obs"
+	"cdb/internal/query"
+	"cdb/internal/relation"
+)
+
+// queryRequest is the POST /v1/query body. Exactly one of Query and
+// Rules must be set: Query is a program in the paper's ASCII query
+// language ("R = select ... from ..."), Rules a declarative calculus
+// program. Statement results persist on the session, so a later request
+// can build on an earlier one exactly like consecutive REPL lines.
+type queryRequest struct {
+	// Session is the id returned by POST /v1/sessions.
+	Session string `json:"session"`
+
+	// Query is a query-language program (one or more statements).
+	Query string `json:"query,omitempty"`
+
+	// Rules is a calculus (declarative rules) program.
+	Rules string `json:"rules,omitempty"`
+
+	// Target optionally names the session binding for a Rules result
+	// (query statements always bind their own targets).
+	Target string `json:"target,omitempty"`
+
+	// Explain requests the EXPLAIN ANALYZE plan tree as rendered text.
+	Explain bool `json:"explain,omitempty"`
+
+	// Trace requests the span tree as structured JSON.
+	Trace bool `json:"trace,omitempty"`
+
+	// Stats requests the per-operator execution table.
+	Stats bool `json:"stats,omitempty"`
+
+	// Stream switches the response to NDJSON: a header object, one
+	// object per result tuple, then a trailer.
+	Stream bool `json:"stream,omitempty"`
+
+	// TimeoutMS shortens (never extends) the server's per-query
+	// deadline for this request.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+
+	// MaxRows truncates the tuples array (0 = all tuples). The trailer
+	// count is always the full cardinality.
+	MaxRows int `json:"max_rows,omitempty"`
+}
+
+// queryResponse is the POST /v1/query body on success (non-streaming).
+type queryResponse struct {
+	Session   string          `json:"session"`
+	Target    string          `json:"target"`
+	Schema    string          `json:"schema"`
+	Tuples    []string        `json:"tuples"`
+	Count     int             `json:"count"`
+	Truncated bool            `json:"truncated,omitempty"`
+	ElapsedMS float64         `json:"elapsed_ms"`
+	Stats     []opStatsJSON   `json:"stats,omitempty"`
+	Cache     *cacheInfo      `json:"cache,omitempty"`
+	Explain   string          `json:"explain,omitempty"`
+	Trace     json.RawMessage `json:"trace,omitempty"`
+}
+
+// opStatsJSON is one operator invocation's record (exec.OpStats over
+// the wire).
+type opStatsJSON struct {
+	Op          string  `json:"op"`
+	In          int64   `json:"in"`
+	Out         int64   `json:"out"`
+	Sat         int64   `json:"sat"`
+	Pruned      int64   `json:"pruned"`
+	Pairs       int64   `json:"pairs,omitempty"`
+	PairsPruned int64   `json:"pairs_pruned,omitempty"`
+	CacheHits   int64   `json:"cache_hits"`
+	CacheMisses int64   `json:"cache_misses"`
+	FM          int64   `json:"fm"`
+	WallMS      float64 `json:"wall_ms"`
+	Parallel    bool    `json:"parallel,omitempty"`
+}
+
+func statsJSON(ops []exec.OpStats) []opStatsJSON {
+	out := make([]opStatsJSON, len(ops))
+	for i, op := range ops {
+		out[i] = opStatsJSON{
+			Op: op.Op, In: op.TuplesIn, Out: op.TuplesOut,
+			Sat: op.SatChecks, Pruned: op.PrunedUnsat,
+			Pairs: op.PairsTotal, PairsPruned: op.PairsPruned,
+			CacheHits: op.CacheHits, CacheMisses: op.CacheMisses,
+			FM:       op.FMDecisions,
+			WallMS:   float64(op.Wall.Microseconds()) / 1000,
+			Parallel: op.Parallel,
+		}
+	}
+	return out
+}
+
+// queryResult is a finished query before rendering: the relation plus
+// the observability artifacts the request asked for.
+type queryResult struct {
+	target  string
+	rel     *relation.Relation
+	stats   []opStatsJSON
+	cache   *cacheInfo
+	explain string
+	trace   json.RawMessage
+}
+
+// apiError pairs an HTTP status with a client-facing message.
+type apiError struct {
+	status int
+	msg    string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func errorStatus(err error) int {
+	var ae *apiError
+	if errors.As(err, &ae) {
+		return ae.status
+	}
+	return http.StatusUnprocessableEntity
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		w.Header().Set("Connection", "close")
+		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	var req queryRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if (req.Query == "") == (req.Rules == "") {
+		writeError(w, http.StatusBadRequest, "exactly one of query and rules must be set")
+		return
+	}
+	sess, ok := s.session(req.Session)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no such session %q", req.Session))
+		return
+	}
+
+	// Admission: beyond the max-inflight cap the server sheds load
+	// instead of queueing; during a drain it refuses outright.
+	release, status := s.acquire()
+	if status != 0 {
+		if status == http.StatusTooManyRequests {
+			s.mRejected.Inc()
+			w.Header().Set("Retry-After", "1")
+		}
+		writeError(w, status, admissionMessage(status))
+		return
+	}
+	defer release()
+	if s.hookQueryStart != nil {
+		s.hookQueryStart()
+	}
+
+	// Per-request deadline: the server bound, shortened by timeout_ms.
+	ctx := r.Context()
+	timeout := s.cfg.queryTimeout()
+	if ms := time.Duration(req.TimeoutMS) * time.Millisecond; ms > 0 && (timeout == 0 || ms < timeout) {
+		timeout = ms
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+
+	t0 := time.Now()
+	s.mQueries.Inc()
+	res, err := s.runOnSession(ctx, sess, req)
+	elapsed := time.Since(t0)
+	if err != nil {
+		s.mErrors.Inc()
+		status := errorStatus(err)
+		if errors.Is(err, context.DeadlineExceeded) {
+			s.mTimeouts.Inc()
+			status = http.StatusGatewayTimeout
+			err = fmt.Errorf("query exceeded its deadline after %s: %w", elapsed.Round(time.Millisecond), err)
+		}
+		s.log.Warn("query failed", "session", sess.id, "status", status,
+			"elapsed", elapsed, "err", err)
+		writeError(w, status, err.Error())
+		return
+	}
+	s.log.Info("query ok", "session", sess.id, "target", res.target,
+		"tuples", res.rel.Len(), "elapsed", elapsed)
+	if req.Stream {
+		s.writeStream(w, sess.id, req, res, elapsed)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.buildResponse(sess.id, req, res, elapsed))
+}
+
+func admissionMessage(status int) string {
+	if status == http.StatusTooManyRequests {
+		return "server at max-inflight capacity; retry shortly"
+	}
+	return "server is shutting down"
+}
+
+// runOnSession executes one request's program on the session. Queries
+// on a session are serialised (sess.mu), which is what makes the
+// per-query swap of the execution context's Ctx and Tracer fields safe;
+// concurrency happens across sessions.
+func (s *Server) runOnSession(ctx context.Context, sess *session, req queryRequest) (*queryResult, error) {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	sess.running.Store(1)
+	sess.touch()
+	defer func() {
+		sess.running.Store(0)
+		sess.queries.Add(1)
+		sess.touch()
+	}()
+
+	ec := sess.ec
+	ec.Reset()
+	ec.Ctx = ctx
+	defer func() { ec.Ctx = nil }()
+	var tracer *obs.Tracer
+	if req.Explain || req.Trace {
+		tracer = obs.NewTracer()
+		ec.Tracer = tracer
+		defer func() { ec.Tracer = nil }()
+	}
+
+	var (
+		res *queryResult
+		err error
+	)
+	if req.Query != "" {
+		res, err = runProgram(sess, req.Query, ec)
+	} else {
+		res, err = runRules(sess, req.Rules, req.Target, ec)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if req.Stats {
+		res.stats = statsJSON(ec.Summary())
+		if ec.SatCache != nil {
+			st := sess.cacheStats()
+			res.cache = &cacheInfo{
+				Hits: st.Hits, Misses: st.Misses, HitRate: st.HitRate(),
+				Evictions: st.Evictions, Collisions: st.Collisions, Entries: st.Entries,
+			}
+		}
+	}
+	if tracer != nil {
+		roots := tracer.Roots()
+		if req.Explain {
+			res.explain = obs.FormatTree(roots, obs.TreeOptions{Wall: true})
+		}
+		if req.Trace {
+			b, jerr := obs.TraceJSON(roots)
+			if jerr != nil {
+				return nil, jerr
+			}
+			res.trace = b
+		}
+	}
+	return res, nil
+}
+
+// runProgram executes a query-language program with REPL statement
+// semantics: every statement's raw result is bound on the session
+// (later requests see it), and the final statement's result is
+// normalised for the response exactly as `cqacdb -e` normalises before
+// printing — unsatisfiable tuples dropped, constraints canonical,
+// duplicates removed.
+func runProgram(sess *session, src string, ec *exec.Context) (*queryResult, error) {
+	prog, err := query.Parse(src)
+	if err != nil {
+		return nil, &apiError{http.StatusBadRequest, err.Error()}
+	}
+	if len(prog.Stmts) == 0 {
+		return nil, &apiError{http.StatusBadRequest, "empty program"}
+	}
+	root := ec.BeginSpan("query", firstLine(src))
+	defer ec.EndSpan(root)
+	env := sess.env()
+	var (
+		last   *relation.Relation
+		target string
+	)
+	for _, st := range prog.Stmts {
+		if err := ec.Err(); err != nil {
+			return nil, err
+		}
+		one := &query.Program{Stmts: []query.Stmt{st}}
+		r, err := one.RunOptimizedCtx(env, ec)
+		if err != nil {
+			return nil, err
+		}
+		env[st.Target] = r
+		sess.bind(st.Target, r)
+		last, target = r, st.Target
+	}
+	sp := ec.BeginSpan("normalize", "")
+	norm := last.NormalizeWith(ec.SatFunc())
+	sp.Set("out", int64(norm.Len()))
+	ec.EndSpan(sp)
+	return &queryResult{target: target, rel: norm}, nil
+}
+
+// runRules executes a calculus program; like `cqacdb -rules` the result
+// is returned as produced (rule outputs are already operator outputs).
+// When target is set the result is also bound on the session so query
+// statements can build on it.
+func runRules(sess *session, src, target string, ec *exec.Context) (*queryResult, error) {
+	prog, err := calculus.Parse(src)
+	if err != nil {
+		return nil, &apiError{http.StatusBadRequest, err.Error()}
+	}
+	root := ec.BeginSpan("rules", firstLine(src))
+	defer ec.EndSpan(root)
+	out, err := prog.RunCtx(sess.env(), ec)
+	if err != nil {
+		return nil, err
+	}
+	if target != "" {
+		sess.bind(target, out)
+	}
+	return &queryResult{target: target, rel: out}, nil
+}
+
+// firstLine returns the first non-empty line of src, as span detail
+// (mirrors db.RunCtx).
+func firstLine(src string) string {
+	for _, line := range strings.Split(src, "\n") {
+		if line = strings.TrimSpace(line); line != "" {
+			return line
+		}
+	}
+	return ""
+}
+
+// buildResponse renders a result as the JSON response body. Tuple
+// strings are relation.Sorted() order — the exact lines the REPL
+// prints.
+func (s *Server) buildResponse(sessionID string, req queryRequest, res *queryResult, elapsed time.Duration) queryResponse {
+	tuples := res.rel.Sorted()
+	resp := queryResponse{
+		Session:   sessionID,
+		Target:    res.target,
+		Schema:    res.rel.Schema().String(),
+		Count:     len(tuples),
+		ElapsedMS: float64(elapsed.Microseconds()) / 1000,
+		Stats:     res.stats,
+		Cache:     res.cache,
+		Explain:   res.explain,
+		Trace:     res.trace,
+	}
+	if req.MaxRows > 0 && len(tuples) > req.MaxRows {
+		tuples = tuples[:req.MaxRows]
+		resp.Truncated = true
+	}
+	resp.Tuples = make([]string, len(tuples))
+	for i, t := range tuples {
+		resp.Tuples[i] = t.String()
+	}
+	return resp
+}
+
+// writeStream renders a result as NDJSON: one header object, one
+// {"tuple": ...} object per result tuple, one trailer object. The
+// stream flushes per line so a consumer sees tuples as they are
+// written.
+func (s *Server) writeStream(w http.ResponseWriter, sessionID string, req queryRequest, res *queryResult, elapsed time.Duration) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	enc := json.NewEncoder(w)
+	tuples := res.rel.Sorted()
+	header := map[string]any{
+		"session": sessionID,
+		"target":  res.target,
+		"schema":  res.rel.Schema().String(),
+		"count":   len(tuples),
+	}
+	_ = enc.Encode(header)
+	flush()
+	limit := len(tuples)
+	truncated := false
+	if req.MaxRows > 0 && limit > req.MaxRows {
+		limit, truncated = req.MaxRows, true
+	}
+	for i := 0; i < limit; i++ {
+		_ = enc.Encode(map[string]string{"tuple": tuples[i].String()})
+		s.mStreamed.Inc()
+		flush()
+	}
+	trailer := map[string]any{
+		"done":       true,
+		"elapsed_ms": float64(elapsed.Microseconds()) / 1000,
+	}
+	if truncated {
+		trailer["truncated"] = true
+	}
+	if res.stats != nil {
+		trailer["stats"] = res.stats
+	}
+	if res.explain != "" {
+		trailer["explain"] = res.explain
+	}
+	if res.trace != nil {
+		trailer["trace"] = res.trace
+	}
+	_ = enc.Encode(trailer)
+	flush()
+}

@@ -16,8 +16,8 @@ go test -race ./...
 # packages with a higher -count: the sat-cache, the *Ctx operators and
 # the span/metrics plumbing are where fresh races would live, and
 # repetition shakes out scheduling-dependent ones cheaply.
-echo '>> go test -race -count=2 ./internal/constraint ./internal/exec ./internal/cqa ./internal/relation ./internal/obs'
-go test -race -count=2 ./internal/constraint ./internal/exec ./internal/cqa ./internal/relation ./internal/obs
+echo '>> go test -race -count=2 ./internal/constraint ./internal/exec ./internal/cqa ./internal/relation ./internal/obs ./internal/server'
+go test -race -count=2 ./internal/constraint ./internal/exec ./internal/cqa ./internal/relation ./internal/obs ./internal/server
 
 # Corpus replay: the committed fuzz corpora under testdata/fuzz/ run as
 # ordinary seed inputs here — every input that ever broke the parsers or
@@ -34,6 +34,34 @@ go run ./cmd/cqacdb -demo hurricane -explain -stats \
     -e 'R = select landId = A from Landownership' >/dev/null
 go run ./cmd/cdbbench -expt cqa -par 2 -cqasize 8 >/dev/null
 go run ./cmd/cdbbench -expt diff -n 25 -seed 7 -par 2 >/dev/null
+
+# Server smoke: boot the real cqacdbd on a free port, open a session, run
+# the case-study query, scrape /metrics, then SIGTERM it and require a
+# clean drain (exit 0 + the "bye" line).
+echo '>> server smoke'
+go build -o /tmp/cdb_cqacdbd ./cmd/cqacdbd
+/tmp/cdb_cqacdbd -demo hurricane -addr 127.0.0.1:0 -quiet \
+    > /tmp/cdb_cqacdbd.out 2>&1 &
+SRV_PID=$!
+BASE=''
+for _ in $(seq 1 100); do
+    BASE=$(sed -n 's#^cqacdbd listening on \(http://.*\)$#\1#p' /tmp/cdb_cqacdbd.out)
+    [ -n "$BASE" ] && break
+    sleep 0.05
+done
+[ -n "$BASE" ] || { echo 'server never printed its listen line'; kill "$SRV_PID"; exit 1; }
+SID=$(curl -s -X POST "$BASE/v1/sessions" -d '{"par": 2}' \
+      | sed -n 's/.*"id": "\([^"]*\)".*/\1/p')
+[ -n "$SID" ] || { echo 'session create failed'; kill "$SRV_PID"; exit 1; }
+curl -s "$BASE/v1/query" -d '{
+  "session": "'"$SID"'",
+  "query": "R0 = join Landownership and Land\nR1 = select t >= 4, t <= 9 from R0\nR2 = project R1 on name"
+}' | grep -q '"count": 4' || { echo 'case-study query wrong'; kill "$SRV_PID"; exit 1; }
+curl -s "$BASE/metrics" | grep -q '^cqacdbd_queries_total 1$' \
+    || { echo '/metrics missing query counter'; kill "$SRV_PID"; exit 1; }
+kill -TERM "$SRV_PID"
+wait "$SRV_PID" || { echo 'server exited non-zero'; exit 1; }
+grep -q 'cqacdbd: bye' /tmp/cdb_cqacdbd.out || { echo 'no graceful drain'; exit 1; }
 
 # Prune smoke: the filter-and-refine experiment checks filtered output is
 # byte-identical to the dense loop on every workload shape, then benchdiff
