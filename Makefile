@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-parallel bench-canon bench-prune obs-demo fuzz diff serve
+.PHONY: build test check bench bench-parallel bench-canon bench-prune bench-plan obs-demo fuzz diff serve
 
 build:
 	$(GO) build ./...
@@ -44,6 +44,14 @@ bench-canon:
 # compare two runs with scripts/benchdiff.sh OLD.json NEW.json.
 bench-prune:
 	$(GO) run ./cmd/cdbbench -expt prune -cqasize 96 -rounds 3 -json BENCH_prune.json
+
+# Measures the physical planner's pairing strategies: each binary operator
+# on each workload under every forced -plan mode and under the cost
+# model's auto pick — wall time, sat decisions, est_pairs vs act_pairs.
+# Fails unless all strategies produce byte-identical output. Writes
+# BENCH_plan.json; compare two runs with scripts/benchdiff.sh.
+bench-plan:
+	$(GO) run ./cmd/cdbbench -expt plan -cqasize 96 -rounds 3 -json BENCH_plan.json
 
 # Native fuzzing: 30s per target. go's -fuzz takes one package at a time,
 # so the four targets run sequentially (~2min total). Inputs that fail are

@@ -45,6 +45,18 @@
 // (failing otherwise), and -json writes the measurements (the
 // `make bench-prune` target writes BENCH_prune.json this way).
 //
+// The plan experiment measures the physical planner's pairing strategies
+// (internal/cqa/planner.go): the binary operators run over the prune
+// experiment's three workload shapes with each strategy forced in turn
+// (-plan dense | sweep | index) and once under the cost-based planner
+// (auto), -rounds times each. It reports per-mode wall time, refine-stage
+// sat decisions and the estimator's est_pairs vs the actual surviving
+// act_pairs, records which strategy auto picked, checks that every mode's
+// output is byte-identical (failing otherwise), and -json writes the
+// measurements (the `make bench-plan` target writes BENCH_plan.json this
+// way). The global -plan flag also forces a strategy for the prune
+// experiment's filtered contexts.
+//
 // The diff experiment runs the semantic oracle's differential harness
 // (internal/oracle): -n random (relation, operator) cases across all seven
 // CQA operators, engine output vs the naive reference evaluator, exact
@@ -83,7 +95,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("cdbbench", flag.ContinueOnError)
-	expt := fs.String("expt", "all", "experiment: fig4 | fig5 | exp3 | corner | cqa | canon | prune | diff | all")
+	expt := fs.String("expt", "all", "experiment: fig4 | fig5 | exp3 | corner | cqa | canon | prune | plan | diff | all")
 	scale := fs.Int("scale", 1, "shrink factor for the workload (1 = paper scale)")
 	page := fs.Int("page", 4096, "page size in bytes (one R*-tree node per page)")
 	buckets := fs.Int("buckets", 8, "buckets per rendered series")
@@ -96,8 +108,12 @@ func run(args []string) error {
 	satCache := fs.Int("sat-cache", 32768, "canon experiment: warm-run sat-cache size in entries")
 	jsonPath := fs.String("json", "", "cqa/canon/diff experiments: write the measurements to this JSON file")
 	cases := fs.Int("n", 100, "diff experiment: number of random (relation, operator) cases")
+	plan := fs.String("plan", exec.PlanAuto, "pairing strategy for the prune experiment's filtered contexts: auto | dense | sweep | index")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if !exec.ValidPlanMode(*plan) {
+		return fmt.Errorf("invalid -plan %q (want auto, dense, sweep or index)", *plan)
 	}
 	p := datagen.Scaled(*scale)
 	if *seed != 0 {
@@ -110,7 +126,10 @@ func run(args []string) error {
 		return runCanon(p, *par, *cqaSize, *rounds, *satCache, *jsonPath, *stats)
 	}
 	if *expt == "prune" {
-		return runPrune(p, *par, *cqaSize, *rounds, *jsonPath, *stats)
+		return runPrune(p, *par, *cqaSize, *rounds, *plan, *jsonPath, *stats)
+	}
+	if *expt == "plan" {
+		return runPlan(p, *par, *cqaSize, *rounds, *jsonPath, *stats)
 	}
 	if *expt == "diff" {
 		return runDiff(*seed, *cases, *par, *jsonPath)
@@ -495,7 +514,7 @@ func relDump(r *relation.Relation) string {
 // loop) vs on, `rounds` repetitions each. See the package comment for the
 // workload rationale. Outputs must be byte-identical between the two
 // modes on every (workload, operator) pair; the run fails otherwise.
-func runPrune(p datagen.Params, par, size, rounds int, jsonPath string, stats bool) error {
+func runPrune(p datagen.Params, par, size, rounds int, plan, jsonPath string, stats bool) error {
 	if rounds < 1 {
 		rounds = 1
 	}
@@ -539,6 +558,7 @@ func runPrune(p datagen.Params, par, size, rounds int, jsonPath string, stats bo
 	ecDense.NoPrune = true
 	ecFilt := exec.New(par)
 	ecFilt.SeqThreshold = 1
+	ecFilt.PlanMode = plan
 
 	res := pruneResult{Experiment: "prune", TuplesPerSide: size, Rounds: rounds, Workers: ecFilt.Workers()}
 	fmt.Printf("filter-and-refine: %d tuples per side (%d pairs), %d rounds, %d workers\n\n",
@@ -623,6 +643,165 @@ func runPrune(p datagen.Params, par, size, rounds int, jsonPath string, stats bo
 		return fmt.Errorf("prune: filtered output diverges from dense output")
 	}
 	fmt.Println("\noutputs byte-identical with the filter on and off, every workload and operator")
+	return nil
+}
+
+// planModeResult is one (workload, operator, strategy) measurement of
+// the plan experiment.
+type planModeResult struct {
+	Mode      string  `json:"mode"`
+	WallMS    float64 `json:"wall_ms"`
+	SatChecks int64   `json:"sat_checks"`
+	EstPairs  int64   `json:"est_pairs"`
+	ActPairs  int64   `json:"act_pairs"`
+}
+
+// planOpResult groups one (workload, operator)'s per-strategy runs.
+type planOpResult struct {
+	Workload         string           `json:"workload"`
+	Operator         string           `json:"operator"`
+	AutoStrategy     string           `json:"auto_strategy"` // what the cost model picked under auto
+	Modes            []planModeResult `json:"modes"`
+	TuplesOut        int64            `json:"tuples_out"`
+	OutputsIdentical bool             `json:"outputs_identical"`
+}
+
+// planResult is the plan experiment's measurement record (also its -json
+// output shape).
+type planResult struct {
+	Experiment    string         `json:"experiment"`
+	TuplesPerSide int            `json:"tuples_per_side"`
+	Rounds        int            `json:"rounds"`
+	Workers       int            `json:"workers"`
+	Results       []planOpResult `json:"results"`
+}
+
+// runPlan measures the physical planner's pairing strategies: the binary
+// operators over the prune experiment's three workload shapes, each
+// strategy forced in turn plus the cost-based auto mode, `rounds`
+// repetitions each. Every mode's output must be byte-identical to forced
+// dense (the strategies are candidate-enumeration orders over the same
+// surviving set); the run fails otherwise.
+func runPlan(p datagen.Params, par, size, rounds int, jsonPath string, stats bool) error {
+	if rounds < 1 {
+		rounds = 1
+	}
+	centerSeed := p.Seed + 77
+	pDense := p
+	pDense.SizeMin = 50
+	p2 := p
+	p2.Seed = p.Seed + 1000
+	p2Dense := pDense
+	p2Dense.Seed = p.Seed + 1000
+	type workload struct {
+		name   string
+		r1, r2 *relation.Relation
+		ops    []string
+	}
+	// difference is skipped on the dense workload for the prune
+	// experiment's reason: the staircase subtraction fragments
+	// combinatorially there and measures nothing about pairing.
+	workloads := []workload{
+		{"dense",
+			datagen.ClusteredBoxRelation(pDense, size, 1, 10, centerSeed),
+			datagen.ClusteredBoxRelation(p2Dense, size, 1, 10, centerSeed),
+			[]string{"join", "intersect"}},
+		{"skewed-bucket",
+			datagen.SkewedBoxRelation(p, size, 12),
+			datagen.SkewedBoxRelation(p2, size, 12),
+			[]string{"join", "intersect", "difference"}},
+		{"clustered",
+			datagen.ClusteredBoxRelation(p, size, 8, 60, centerSeed),
+			datagen.ClusteredBoxRelation(p2, size, 8, 60, centerSeed),
+			[]string{"join", "intersect", "difference"}},
+	}
+	opFuncs := map[string]func(ec *exec.Context, r1, r2 *relation.Relation) (*relation.Relation, error){
+		"join":       cqa.JoinCtx,
+		"intersect":  cqa.IntersectCtx,
+		"difference": cqa.DifferenceCtx,
+	}
+	modes := []string{exec.PlanDense, exec.PlanSweep, exec.PlanIndex, exec.PlanAuto}
+	res := planResult{Experiment: "plan", TuplesPerSide: size, Rounds: rounds, Workers: exec.New(par).Workers()}
+	fmt.Printf("pairing strategies: %d tuples per side (%d pairs), %d rounds, %d workers\n\n",
+		size, size*size, rounds, res.Workers)
+	fmt.Printf("%-16s %-12s %-7s %12s %10s %10s %10s %-8s\n",
+		"workload", "operator", "mode", "wall", "sat", "est", "act", "auto→")
+	identical := true
+	ecs := map[string]*exec.Context{}
+	for _, mode := range modes {
+		ec := exec.New(par)
+		ec.SeqThreshold = 1
+		ec.PlanMode = mode
+		ecs[mode] = ec
+	}
+	for _, w := range workloads {
+		for _, opName := range w.ops {
+			op := opFuncs[opName]
+			r := planOpResult{Workload: w.name, Operator: opName, OutputsIdentical: true}
+			var denseDump string
+			for _, mode := range modes {
+				ec := ecs[mode]
+				recorded := len(ec.Stats())
+				var out *relation.Relation
+				t0 := time.Now()
+				for i := 0; i < rounds; i++ {
+					var err error
+					out, err = op(ec, w.r1, w.r2)
+					if err != nil {
+						return fmt.Errorf("%s %s %s: %w", w.name, opName, mode, err)
+					}
+				}
+				wall := time.Since(t0)
+				m := planModeResult{Mode: mode, WallMS: float64(wall) / float64(time.Millisecond) / float64(rounds)}
+				for _, s := range ec.Stats()[recorded:] {
+					m.SatChecks += s.SatChecks
+					m.EstPairs += s.EstPairs
+					m.ActPairs += s.PairsTotal - s.PairsPruned
+					if mode == exec.PlanAuto && s.Strategy != "" && r.AutoStrategy == "" {
+						r.AutoStrategy = s.Strategy
+					}
+				}
+				m.SatChecks /= int64(rounds)
+				m.EstPairs /= int64(rounds)
+				m.ActPairs /= int64(rounds)
+				r.TuplesOut = int64(out.Len())
+				dumpStr := relDump(out)
+				if mode == exec.PlanDense {
+					denseDump = dumpStr
+				} else if dumpStr != denseDump {
+					r.OutputsIdentical = false
+				}
+				r.Modes = append(r.Modes, m)
+				autoCol := ""
+				if mode == exec.PlanAuto {
+					autoCol = r.AutoStrategy
+				}
+				fmt.Printf("%-16s %-12s %-7s %12s %10d %10d %10d %-8s\n",
+					w.name, opName, mode, (wall / time.Duration(rounds)).Round(time.Microsecond),
+					m.SatChecks, m.EstPairs, m.ActPairs, autoCol)
+			}
+			identical = identical && r.OutputsIdentical
+			res.Results = append(res.Results, r)
+		}
+	}
+	if stats {
+		fmt.Println("\nauto runs, per-operator stats:")
+		fmt.Print(exec.FormatStats(ecs[exec.PlanAuto].Summary()))
+	}
+	if jsonPath != "" {
+		b, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(b, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Println("wrote", jsonPath)
+	}
+	if !identical {
+		return fmt.Errorf("plan: some strategy's output diverges from forced dense")
+	}
+	fmt.Println("\noutputs byte-identical across dense, sweep, index and auto, every workload and operator")
 	return nil
 }
 

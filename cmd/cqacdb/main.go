@@ -22,10 +22,12 @@
 // (entries; 0 disables it), which persists across the statements and
 // programs of a session, so repeated shapes are decided once. The binary
 // operators pair tuples through a filter-and-refine candidate filter
-// (relational hash partitioning + constraint envelopes + interval sweep);
-// -no-prune falls back to the dense nested loop. Parallel output is
-// byte-identical to sequential output, with or without the cache or the
-// filter.
+// (relational hash partitioning + constraint envelopes + strategy-
+// switched enumeration); -no-prune falls back to the dense nested loop,
+// and -plan forces one enumeration strategy (dense, sweep, index) or
+// leaves the choice to the cost-based physical planner (auto, the
+// default). Parallel output is byte-identical to sequential output, with
+// or without the cache or the filter, and across every -plan mode.
 //
 // Observability (package obs):
 //
@@ -100,12 +102,17 @@ func run(args []string) error {
 	metricsAddr := fs.String("metrics-addr", "", "serve /metrics, expvar and /debug/pprof on this address")
 	slowlog := fs.Duration("slowlog", 0, "log spans at least this slow via slog (0 = off)")
 	noPrune := fs.Bool("no-prune", false, "disable the binary operators' candidate filter (dense nested-loop pairing)")
+	plan := fs.String("plan", exec.PlanAuto, "pairing strategy: auto (cost-based planner), dense, sweep, or index")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if !exec.ValidPlanMode(*plan) {
+		return fmt.Errorf("invalid -plan %q (want auto, dense, sweep or index)", *plan)
 	}
 	ec := exec.New(*par)
 	ec.SeqThreshold = *parThreshold
 	ec.NoPrune = *noPrune
+	ec.PlanMode = *plan
 	if *satCache > 0 {
 		ec.SatCache = constraint.NewSatCache(*satCache)
 	}

@@ -344,7 +344,7 @@ func (p *Program) RunCtx(env cqa.Env, ec *exec.Context) (*relation.Relation, err
 			ec.EndSpan(sp)
 			return nil, err
 		}
-		plan = cqa.Optimize(plan, scratch.Schemas())
+		plan = cqa.Plan(plan, scratch, ec)
 		out, err := plan.EvalCtx(scratch, ec)
 		if err != nil {
 			ec.EndSpan(sp)

@@ -1,0 +1,121 @@
+package cqa
+
+import (
+	"sort"
+
+	"cdb/internal/constraint"
+	"cdb/internal/relation"
+)
+
+// This file is the cardinality/selectivity side of the physical planner:
+// it condenses one binary-operator input pair into the numbers the cost
+// model (planner.go) ranks strategies with, built from the two filter
+// mechanisms' own data structures — relation.Partition buckets for the
+// relational part and memoized constraint.Envelope intervals for the
+// constraint part. Because the estimates count exactly the pairs the
+// filter stage can keep (bucket-matched ∧ per-attribute interval
+// overlap), est is a true upper bound on the surviving candidates: the
+// est_pairs ≥ act_pairs invariant EXPLAIN ANALYZE exposes and the
+// property tests pin.
+
+// pairStats is the estimator's summary of one t1s × t2s pairing problem.
+type pairStats struct {
+	n, m       int              // input sizes
+	relPairs   int64            // pairs whose relational parts match (n·m with no shared relational attrs)
+	overlap    map[string]int64 // per shared constraint attribute: pairs whose envelope intervals intersect
+	sweepAttr  string           // the interval sweep's sort attribute ("" = none bounded on both sides)
+	indexAttrs []string         // the R*-tree strategy's dimensions, best-scored first (nil = index not applicable)
+	est        int64            // min(relPairs, min over overlap): upper bound on surviving candidates
+}
+
+// estSweep bounds the pairs the interval sweep enumerates: overlaps on
+// the sweep attribute, further capped by the bucket structure it runs in.
+func (s pairStats) estSweep() int64 {
+	if s.sweepAttr == "" {
+		return s.relPairs
+	}
+	return min64(s.relPairs, s.overlap[s.sweepAttr])
+}
+
+// estIndex bounds the pairs the R*-tree probe emits: pairs overlapping
+// on every indexed dimension, so the tightest single dimension bounds it.
+func (s pairStats) estIndex() int64 {
+	out := s.relPairs
+	for _, a := range s.indexAttrs {
+		out = min64(out, s.overlap[a])
+	}
+	return out
+}
+
+// relOverlapPairs counts the pairs with NULL-safe-identical relational
+// parts: Σ over shared bucket keys of |bucket1|·|bucket2| — exact, since
+// the partitions were built on the same attribute list.
+func relOverlapPairs(p1, p2 *relation.Partition) int64 {
+	var total int64
+	for _, key := range p1.Keys() {
+		total += int64(len(p1.Bucket(key))) * int64(len(p2.Bucket(key)))
+	}
+	return total
+}
+
+// analyzePairing computes the planner's estimates for one pairing
+// problem. p1/p2 are the relational-part partitions (nil when there are
+// no shared relational attributes, meaning every pair bucket-matches).
+func analyzePairing(env1, env2 []constraint.Envelope, p1, p2 *relation.Partition, sharedCon []string) pairStats {
+	s := pairStats{n: len(env1), m: len(env2)}
+	s.relPairs = int64(s.n) * int64(s.m)
+	if p1 != nil && p2 != nil {
+		s.relPairs = relOverlapPairs(p1, p2)
+	}
+	s.sweepAttr = chooseSweepAttr(sharedCon, env1, env2)
+	s.indexAttrs = chooseIndexAttrs(sharedCon, env1, env2)
+	s.est = s.relPairs
+	if len(sharedCon) > 0 {
+		s.overlap = make(map[string]int64, len(sharedCon))
+		for _, a := range sharedCon {
+			o := constraint.AttrOverlapCount(env1, env2, a)
+			s.overlap[a] = o
+			s.est = min64(s.est, o)
+		}
+	}
+	return s
+}
+
+// chooseIndexAttrs picks the R*-tree strategy's dimensions: up to two
+// shared constraint attributes, ranked by the same boundedness score as
+// chooseSweepAttr (bounded₁·bounded₂, ties broken lexicographically so
+// the choice is deterministic whatever the schema order), keeping only
+// attributes bounded somewhere on both sides — a dimension nobody bounds
+// prunes nothing and only widens the tree's boxes. Two dimensions is
+// where the index earns its keep over the one-attribute sweep: the tree
+// rejects on the conjunction of overlaps, the sweep on a single one.
+func chooseIndexAttrs(sharedCon []string, env1, env2 []constraint.Envelope) []string {
+	attrs := append([]string{}, sharedCon...)
+	sort.Strings(attrs)
+	type scored struct {
+		attr  string
+		score int
+	}
+	var ranked []scored
+	for _, a := range attrs {
+		if score := countBounded(env1, a) * countBounded(env2, a); score > 0 {
+			ranked = append(ranked, scored{a, score})
+		}
+	}
+	sort.SliceStable(ranked, func(i, j int) bool { return ranked[i].score > ranked[j].score })
+	if len(ranked) > 2 {
+		ranked = ranked[:2]
+	}
+	out := make([]string, 0, len(ranked))
+	for _, r := range ranked {
+		out = append(out, r.attr)
+	}
+	return out
+}
+
+func min64(a, b int64) int64 {
+	if b < a {
+		return b
+	}
+	return a
+}

@@ -167,10 +167,16 @@ func Join(r1, r2 *relation.Relation) (*relation.Relation, error) {
 // flattened (t1, t2) pair so output order matches the sequential
 // nested-loop order exactly.
 func JoinCtx(ec *exec.Context, r1, r2 *relation.Relation) (*relation.Relation, error) {
-	return joinCtx(ec, "join", r1, r2)
+	return joinCtx(ec, "join", "", r1, r2)
 }
 
-func joinCtx(ec *exec.Context, op string, r1, r2 *relation.Relation) (*relation.Relation, error) {
+// joinCtx is the shared engine of Join and Intersect. hint is the
+// physical planner's pairing-strategy annotation (""=decide here); the
+// filter stage resolves it against the forced PlanMode and the runtime
+// cost model (resolveStrategy) and records the resolved strategy plus the
+// estimator's pair bound on the operator's stats, which EXPLAIN ANALYZE
+// renders as strategy= / est_pairs= / act_pairs=.
+func joinCtx(ec *exec.Context, op, hint string, r1, r2 *relation.Relation) (*relation.Relation, error) {
 	js, err := r1.Schema().Join(r2.Schema())
 	if err != nil {
 		return nil, err
@@ -208,10 +214,12 @@ func joinCtx(ec *exec.Context, op string, r1, r2 *relation.Relation) (*relation.
 	items := pairs
 	if ec.PruneEnabled() && pairs > 0 {
 		// Filter stage: partition on sharedRel, envelope-reject over
-		// sharedCon, sweep or dense enumeration per bucket. The surviving
-		// candidates are in ascending flattened order, so mapping over
-		// them preserves the sequential nested-loop output order.
-		plan := pairCandidates(ec, t1s, t2s, sharedRel, sharedCon)
+		// sharedCon, strategy-switched enumeration per bucket. The
+		// surviving candidates are in ascending flattened order, so
+		// mapping over them preserves the sequential nested-loop output
+		// order.
+		plan := pairCandidates(ec, hint, t1s, t2s, sharedRel, sharedCon)
+		rec.Pairing(plan.strategy, plan.estPairs)
 		rec.Pairs(int64(plan.total), int64(plan.pruned()))
 		items = len(plan.cands)
 		results, err = exec.Map(ec, items, func(k int) (*relation.Tuple, error) {
@@ -260,7 +268,7 @@ func IntersectCtx(ec *exec.Context, r1, r2 *relation.Relation) (*relation.Relati
 	if !r1.Schema().Equal(r2.Schema()) {
 		return nil, fmt.Errorf("cqa: intersect requires equal schemas: %s vs %s", r1.Schema(), r2.Schema())
 	}
-	return joinCtx(ec, "intersect", r1, r2)
+	return joinCtx(ec, "intersect", "", r1, r2)
 }
 
 // Union returns r1 ∪ r2. The schemas must be equal (as attribute sets with
@@ -380,15 +388,23 @@ func Difference(r1, r2 *relation.Relation) (*relation.Relation, error) {
 // pool.
 //
 // The subtrahends for each tuple of r1 go through the filter-and-refine
-// split: the SameRelationalPart scan becomes a partition-bucket lookup,
-// envelope-disjoint subtrahends are rejected without constraint work, and
-// the survivors pass an exact intersection pre-filter (Merge + sat) —
-// subtracting a region that does not intersect t1 cannot change the
-// semantics, but it would fragment the staircase expansion syntactically.
-// The pre-filter runs in both prune modes, which is what keeps the output
-// byte-identical with pruning on or off: every envelope-pruned subtrahend
-// is one the pre-filter's satisfiability decision rejects anyway.
+// split: the surviving subtrahend set is always {identical relational
+// part ∧ envelopes not Disjoint}, but *how* it is enumerated follows the
+// planner's strategy — dense scans all of r2 per tuple, sweep looks up
+// the relational-part partition bucket, index probes one R*-tree built
+// over all of r2's envelope boxes (precomputed sequentially: the tree is
+// not safe under the worker fan-out). The survivors then pass an exact
+// intersection pre-filter (Merge + sat) — subtracting a region that does
+// not intersect t1 cannot change the semantics, but it would fragment the
+// staircase expansion syntactically. The pre-filter runs in every mode,
+// which is what keeps the output byte-identical with pruning on or off
+// and across strategies: every envelope-pruned subtrahend is one the
+// pre-filter's satisfiability decision rejects anyway.
 func DifferenceCtx(ec *exec.Context, r1, r2 *relation.Relation) (*relation.Relation, error) {
+	return differenceCtx(ec, "", r1, r2)
+}
+
+func differenceCtx(ec *exec.Context, hint string, r1, r2 *relation.Relation) (*relation.Relation, error) {
 	if !r1.Schema().Equal(r2.Schema()) {
 		return nil, fmt.Errorf("cqa: difference requires equal schemas: %s vs %s", r1.Schema(), r2.Schema())
 	}
@@ -396,26 +412,50 @@ func DifferenceCtx(ec *exec.Context, r1, r2 *relation.Relation) (*relation.Relat
 	rec := ec.StartOp("difference", len(t1s)+len(t2s))
 	prune := ec.PruneEnabled() && len(t2s) > 0
 	conAttrs := r1.Schema().ConstraintNames()
+	strategy := exec.PlanDense
 	var part *relation.Partition
-	var env2 []constraint.Envelope
+	var env1, env2 []constraint.Envelope
+	var indexMatches [][]int
 	if prune {
-		part = relation.NewPartition(t2s, r1.Schema().RelationalNames())
-		env2 = envelopes(t2s)
+		relNames := r1.Schema().RelationalNames()
+		part = relation.NewPartition(t2s, relNames)
+		env1, env2 = envelopes(t1s), envelopes(t2s)
+		stats := analyzePairing(env1, env2, relation.NewPartition(t1s, relNames), part, conAttrs)
+		strategy = resolveStrategy(ec, hint, stats, ec.SweepSize())
+		if strategy == exec.PlanIndex {
+			indexMatches = indexDiffMatches(stats.indexAttrs, t1s, t2s, env1, env2, conAttrs)
+			if indexMatches == nil {
+				strategy = exec.PlanDense
+			}
+		}
+		rec.Pairing(strategy, stats.est)
 	}
 	rows, err := exec.Map(ec, len(t1s), func(i int) ([]relation.Tuple, error) {
 		t1 := t1s[i]
 		// Candidate subtrahends: relational parts must be identical, and —
-		// with the filter on — envelopes must not be disjoint. Bucket
-		// indexes come back in input order, so the subtrahend order (and
-		// with it the staircase expansion) matches the dense scan.
+		// with the filter on — envelopes must not be disjoint. All three
+		// strategies produce the same match list in input order, so the
+		// subtrahend order (and with it the staircase expansion) matches
+		// the dense scan.
 		var matches []int
 		if prune {
-			e1 := t1.Constraint().Envelope()
-			for _, j := range part.Lookup(t1) {
-				if e1.Disjoint(env2[j], conAttrs) {
-					continue
+			switch {
+			case indexMatches != nil:
+				matches = indexMatches[i]
+			case strategy == exec.PlanSweep:
+				for _, j := range part.Lookup(t1) {
+					if env1[i].Disjoint(env2[j], conAttrs) {
+						continue
+					}
+					matches = append(matches, j)
 				}
-				matches = append(matches, j)
+			default: // dense
+				for j := range t2s {
+					if !t1.SameRelationalPart(t2s[j]) || env1[i].Disjoint(env2[j], conAttrs) {
+						continue
+					}
+					matches = append(matches, j)
+				}
 			}
 			rec.Pairs(int64(len(t2s)), int64(len(t2s)-len(matches)))
 		} else {

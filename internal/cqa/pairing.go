@@ -23,27 +23,36 @@ import (
 //     whose envelopes are disjoint on a shared constraint attribute has an
 //     unsatisfiable merged conjunction — rejected in O(shared attrs)
 //     rational comparisons, no eliminator run;
-//  3. interval-sweep enumeration: large buckets sort both sides on a
-//     planner-chosen attribute's envelope interval and plane-sweep the
-//     overlaps instead of testing all |A|·|B| pairs; small buckets use the
-//     dense loop (crossover at exec.Context.SweepSize, mirroring
-//     SeqThreshold).
+//  3. strategy-switched enumeration: within a bucket the candidate pairs
+//     are enumerated by one of three physical strategies, picked by the
+//     planner (planner.go) — the dense nested loop, the interval sweep
+//     (sort both sides on one attribute's envelope interval, plane-sweep
+//     the overlaps), or the R*-tree index probe (bulk-load one side's
+//     envelope boxes, probe with the other's; pairing_index.go). Under
+//     PlanAuto, buckets below exec.Context.SweepSize still run dense
+//     (strategy machinery costs more than the tiny loop it replaces); a
+//     forced PlanMode disables that escape so equivalence tests exercise
+//     the strategy they asked for.
 //
 // The contract that keeps outputs byte-identical to the dense nested loop:
 // the surviving candidate set is exactly {bucket-matched pairs whose
-// envelopes are not Disjoint}, whichever enumeration ran — the sweep is a
-// conservative superset pass (closed-endpoint overlap on one attribute)
-// with the full Disjoint check applied to every emitted pair — and the
+// envelopes are not Disjoint}, whichever enumeration ran — the sweep and
+// the index probe are both conservative superset passes (closed-endpoint
+// overlap on one attribute; outward-rounded float boxes over two) with
+// the full Disjoint check applied to every emitted pair — and the
 // candidates are sorted into ascending flattened (i1·m + i2) order before
 // the refine fan-out, which is the sequential nested-loop order. Every
 // pruned pair is one the refine step would have rejected anyway, so
-// pruning on and off produce the same bytes.
+// pruning on and off, and every strategy, produce the same bytes.
 
 // pairPlan is the filter stage's output for one binary-operator call.
 type pairPlan struct {
-	cands     []int  // surviving pairs as flattened indexes i1*m + i2, ascending
-	total     int    // the dense candidate space |t1s|·|t2s|
-	sweepAttr string // attribute the sweep sorted on; "" = dense enumeration only
+	cands      []int    // surviving pairs as flattened indexes i1*m + i2, ascending
+	total      int      // the dense candidate space |t1s|·|t2s|
+	strategy   string   // the resolved pairing strategy (exec.PlanDense/Sweep/Index)
+	estPairs   int64    // the estimator's upper bound on surviving candidates
+	sweepAttr  string   // the sweep's sort attribute; "" = none bounded on both sides
+	indexAttrs []string // the index probe's dimensions; nil = index not applicable
 }
 
 // pruned returns how many pairs the filter rejected.
@@ -59,34 +68,68 @@ func envelopes(ts []relation.Tuple) []constraint.Envelope {
 }
 
 // pairCandidates runs the filter stage over t1s × t2s: partition on the
-// shared relational attributes, envelope-reject within buckets over the
-// shared constraint attributes, sweep or dense enumeration per bucket
-// (see the file comment).
-func pairCandidates(ec *exec.Context, t1s, t2s []relation.Tuple, sharedRel, sharedCon []string) pairPlan {
+// shared relational attributes, analyze the pairing (estimate.go),
+// resolve the pairing strategy (forced PlanMode > planner hint > cost
+// model; planner.go), then enumerate candidates per bucket with that
+// strategy (see the file comment).
+func pairCandidates(ec *exec.Context, hint string, t1s, t2s []relation.Tuple, sharedRel, sharedCon []string) pairPlan {
 	n, m := len(t1s), len(t2s)
 	if n == 0 || m == 0 {
-		return pairPlan{}
+		return pairPlan{strategy: exec.PlanDense}
 	}
 	plan := pairPlan{total: n * m}
 	env1, env2 := envelopes(t1s), envelopes(t2s)
-	plan.sweepAttr = chooseSweepAttr(sharedCon, env1, env2)
+	var p1, p2 *relation.Partition
+	if len(sharedRel) > 0 {
+		p1 = relation.NewPartition(t1s, sharedRel)
+		p2 = relation.NewPartition(t2s, sharedRel)
+	}
+	stats := analyzePairing(env1, env2, p1, p2, sharedCon)
+	plan.strategy = resolveStrategy(ec, hint, stats, ec.SweepSize())
+	plan.estPairs = stats.est
+	plan.sweepAttr = stats.sweepAttr
+	plan.indexAttrs = stats.indexAttrs
+	auto := ec.Plan() == exec.PlanAuto
 	emit := func(i, j int) {
 		if !env1[i].Disjoint(env2[j], sharedCon) {
 			plan.cands = append(plan.cands, i*m+j)
 		}
 	}
-	runBucket := func(as, bs []int) {
-		if plan.sweepAttr == "" || len(as)*len(bs) < ec.SweepSize() {
-			for _, i := range as {
-				for _, j := range bs {
-					emit(i, j)
-				}
+	dense := func(as, bs []int) {
+		for _, i := range as {
+			for _, j := range bs {
+				emit(i, j)
 			}
-			return
 		}
-		sweepPairs(plan.sweepAttr, as, bs, env1, env2, emit)
 	}
-	if len(sharedRel) == 0 {
+	runBucket := func(as, bs []int) {
+		strat := plan.strategy
+		if auto && strat != exec.PlanDense && len(as)*len(bs) < ec.SweepSize() {
+			strat = exec.PlanDense
+		}
+		switch strat {
+		case exec.PlanSweep:
+			sweepPairs(plan.sweepAttr, as, bs, env1, env2, emit)
+		case exec.PlanIndex:
+			// Buffer the probe's raw hits and commit only on success: a
+			// mid-probe failure would otherwise leave half a bucket
+			// emitted before the dense fallback re-enumerates it.
+			var raw []int
+			ok := indexPairs(plan.indexAttrs, as, bs, env1, env2, func(i, j int) {
+				raw = append(raw, i*m+j)
+			})
+			if !ok {
+				dense(as, bs)
+				return
+			}
+			for _, f := range raw {
+				emit(f/m, f%m)
+			}
+		default:
+			dense(as, bs)
+		}
+	}
+	if p1 == nil {
 		as, bs := make([]int, n), make([]int, m)
 		for i := range as {
 			as[i] = i
@@ -96,8 +139,6 @@ func pairCandidates(ec *exec.Context, t1s, t2s []relation.Tuple, sharedRel, shar
 		}
 		runBucket(as, bs)
 	} else {
-		p1 := relation.NewPartition(t1s, sharedRel)
-		p2 := relation.NewPartition(t2s, sharedRel)
 		for _, key := range p1.Keys() {
 			bs := p2.Bucket(key)
 			if len(bs) == 0 {
@@ -118,13 +159,20 @@ func pairCandidates(ec *exec.Context, t1s, t2s []relation.Tuple, sharedRel, shar
 // selective sorting on that attribute will be). Returns "" when no
 // attribute is bounded on both sides; the sweep would then degenerate to
 // the dense loop anyway.
+//
+// Tie-breaking is deterministic and documented: candidates are visited
+// in lexicographic attribute order (the schema's declaration order never
+// matters) and a later attribute replaces the incumbent only with a
+// strictly greater score, so on a tie the lexicographically first
+// attribute among the highest-scoring ones wins. The regression test
+// TestChooseSweepAttrTieBreak pins this.
 func chooseSweepAttr(sharedCon []string, env1, env2 []constraint.Envelope) string {
 	attrs := append([]string{}, sharedCon...)
 	sort.Strings(attrs) // deterministic choice whatever the schema order
 	best, bestScore := "", 0
 	for _, a := range attrs {
 		score := countBounded(env1, a) * countBounded(env2, a)
-		if score > bestScore {
+		if score > bestScore { // strict: ties keep the lex-first incumbent
 			best, bestScore = a, score
 		}
 	}

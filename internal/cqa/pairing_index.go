@@ -1,0 +1,234 @@
+package cqa
+
+import (
+	"math"
+	"sort"
+
+	"cdb/internal/constraint"
+	"cdb/internal/rational"
+	"cdb/internal/relation"
+	"cdb/internal/rstar"
+	"cdb/internal/storage"
+)
+
+// This file is the third candidate-enumeration strategy of the filter
+// stage: bulk-load an R*-tree over one side's envelope boxes and
+// index-nested-loop probe it with the other side's boxes — the paper's
+// §5 index machinery (internal/rstar) finally wired into the CQA
+// evaluator. The tree works in float64 while the envelopes are exact
+// rationals, so every conversion is *outward* rounding: a rect always
+// contains the rational box it stands for, which makes the probe a
+// conservative superset pass exactly like the interval sweep — every
+// emitted pair still passes the exact Envelope.Disjoint check, so the
+// surviving candidate set (and with it the output bytes) is identical to
+// the dense loop's.
+//
+// Unbounded interval sides become the global finite range of the
+// attribute over both inputs: the range contains every finite endpoint
+// in play, so clamping can never separate two rationally-intersecting
+// intervals, and it keeps ±Inf out of the tree (STR tiling sorts by box
+// centers, and an infinite coordinate would poison them).
+
+// f64Down returns a float64 ≤ r (saturating at ±MaxFloat64).
+func f64Down(r rational.Rat) float64 {
+	f := r.Float64()
+	if !math.IsInf(f, 0) {
+		f = math.Nextafter(f, math.Inf(-1))
+	}
+	return clampFinite(f)
+}
+
+// f64Up returns a float64 ≥ r (saturating at ±MaxFloat64).
+func f64Up(r rational.Rat) float64 {
+	f := r.Float64()
+	if !math.IsInf(f, 0) {
+		f = math.Nextafter(f, math.Inf(1))
+	}
+	return clampFinite(f)
+}
+
+// clampFinite saturates infinities to the largest finite floats. The
+// saturation is applied to both conversion directions, so every ≤
+// relation between converted endpoints is preserved — beyond float
+// range everything collapses to the same bound on both sides.
+func clampFinite(f float64) float64 {
+	switch {
+	case math.IsInf(f, 1):
+		return math.MaxFloat64
+	case math.IsInf(f, -1):
+		return -math.MaxFloat64
+	}
+	return f
+}
+
+// attrRange is one indexed attribute's global finite range over both
+// sides: the substitute for unbounded interval sides.
+type attrRange struct {
+	lo, hi float64
+	has    bool
+}
+
+// globalRanges widens every finite endpoint of attr over both sides and
+// takes the min/max. Attributes with no finite endpoint anywhere get
+// has=false and degenerate to the unit box (everything intersects —
+// conservative, and chooseIndexAttrs never picks such an attribute).
+func globalRanges(attrs []string, env1, env2 []constraint.Envelope) []attrRange {
+	out := make([]attrRange, len(attrs))
+	for d, a := range attrs {
+		r := attrRange{lo: math.MaxFloat64, hi: -math.MaxFloat64}
+		scan := func(envs []constraint.Envelope) {
+			for _, e := range envs {
+				iv, ok := e.Interval(a)
+				if !ok || iv.IsEmpty() {
+					continue
+				}
+				if iv.HasLower {
+					r.has = true
+					if f := f64Down(iv.Lower); f < r.lo {
+						r.lo = f
+					}
+					if f := f64Up(iv.Lower); f > r.hi {
+						r.hi = f
+					}
+				}
+				if iv.HasUpper {
+					r.has = true
+					if f := f64Down(iv.Upper); f < r.lo {
+						r.lo = f
+					}
+					if f := f64Up(iv.Upper); f > r.hi {
+						r.hi = f
+					}
+				}
+			}
+		}
+		scan(env1)
+		scan(env2)
+		if !r.has {
+			r.lo, r.hi = 0, 1
+		}
+		out[d] = r
+	}
+	return out
+}
+
+// envRect converts one envelope's box over attrs into a query/data rect:
+// bounded sides round outward, unbounded sides take the global range.
+// ok is false when some attribute's interval is empty — that tuple's
+// conjunction is unsatisfiable on its own, Envelope.Disjoint rejects
+// every pair involving it, and it must not enter the tree at all (an
+// empty rational interval has no float representation with min ≤ max).
+func envRect(e constraint.Envelope, attrs []string, ranges []attrRange) (rstar.Rect, bool) {
+	mins := make([]float64, len(attrs))
+	maxs := make([]float64, len(attrs))
+	for d, a := range attrs {
+		iv, has := e.Interval(a)
+		if has && iv.IsEmpty() {
+			return rstar.Rect{}, false
+		}
+		lo, hi := ranges[d].lo, ranges[d].hi
+		if has && iv.HasLower {
+			lo = f64Down(iv.Lower)
+		}
+		if has && iv.HasUpper {
+			hi = f64Up(iv.Upper)
+		}
+		if hi < lo { // outward rounding cannot produce this; guard anyway
+			lo, hi = hi, lo
+		}
+		mins[d], maxs[d] = lo, hi
+	}
+	r, err := rstar.NewRect(mins, maxs)
+	if err != nil {
+		return rstar.Rect{}, false
+	}
+	return r, true
+}
+
+// indexDiffMatches precomputes difference's per-minuend subtrahend lists
+// under the index strategy: one R*-tree is bulk-loaded over every
+// subtrahend's envelope box, each minuend probes it, and the hits are
+// narrowed by the exact relational-part and Disjoint checks, then sorted
+// — so each list is exactly {j : SameRelationalPart ∧ ¬Disjoint} in input
+// order, the same list the dense scan and the bucket lookup produce.
+// Runs sequentially by design: Tree.Search is not safe under the worker
+// fan-out (the pager's read path is stateful), so the tree work happens
+// before exec.Map and the workers only read the finished lists. Returns
+// nil if the tree could not be built or probed (caller falls back to
+// dense).
+func indexDiffMatches(attrs []string, t1s, t2s []relation.Tuple, env1, env2 []constraint.Envelope, conAttrs []string) [][]int {
+	if len(attrs) == 0 {
+		return nil
+	}
+	as := make([]int, len(t1s))
+	for i := range as {
+		as[i] = i
+	}
+	bs := make([]int, len(t2s))
+	for j := range bs {
+		bs[j] = j
+	}
+	out := make([][]int, len(t1s))
+	cur := -1
+	ok := indexPairs(attrs, as, bs, env1, env2, func(i, j int) {
+		if i != cur { // probes run in minuend order; sort the finished list
+			if cur >= 0 {
+				sort.Ints(out[cur])
+			}
+			cur = i
+		}
+		if t1s[i].SameRelationalPart(t2s[j]) && !env1[i].Disjoint(env2[j], conAttrs) {
+			out[i] = append(out[i], j)
+		}
+	})
+	if !ok {
+		return nil
+	}
+	if cur >= 0 {
+		sort.Ints(out[cur])
+	}
+	return out
+}
+
+// indexPairs enumerates candidate pairs for one bucket by bulk-loading
+// an R*-tree (STR packing, one in-memory pager per bucket) over the bs
+// side's envelope boxes and probing it with each a ∈ as in input order.
+// Every rationally-non-disjoint pair is emitted (conservative floats;
+// see the file comment); emit applies the exact check. Pairs may be
+// emitted in tree order — the caller re-sorts the surviving candidates
+// into dense order, which is what keeps the bytes identical. Returns
+// false if the tree could not be built or probed (the caller falls back
+// to the dense loop for the bucket; with the in-memory pager this does
+// not happen in practice).
+func indexPairs(attrs []string, as, bs []int, env1, env2 []constraint.Envelope, emit func(i, j int)) bool {
+	ranges := globalRanges(attrs, env1, env2)
+	items := make([]rstar.BulkItem, 0, len(bs))
+	for _, j := range bs {
+		r, ok := envRect(env2[j], attrs, ranges)
+		if !ok {
+			continue // empty interval: no pair with j survives Disjoint
+		}
+		items = append(items, rstar.BulkItem{Rect: r, Data: int64(j)})
+	}
+	if len(items) == 0 {
+		return true
+	}
+	tree, err := rstar.BulkLoad(storage.NewMemPager(4096), len(attrs), items, rstar.Options{})
+	if err != nil {
+		return false
+	}
+	for _, i := range as {
+		q, ok := envRect(env1[i], attrs, ranges)
+		if !ok {
+			continue
+		}
+		hits, err := tree.Search(q)
+		if err != nil {
+			return false
+		}
+		for _, j := range hits {
+			emit(i, int(j))
+		}
+	}
+	return true
+}

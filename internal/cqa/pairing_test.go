@@ -72,8 +72,8 @@ func TestPruningEquivalence(t *testing.T) {
 }
 
 // TestSweepMatchesDenseCandidates: the interval sweep and the dense
-// bucket loop enumerate the same candidate set — forced to each side of
-// the crossover via SweepThreshold, the plans must be identical.
+// bucket loop enumerate the same candidate set — forced via PlanMode,
+// the plans must be identical.
 func TestSweepMatchesDenseCandidates(t *testing.T) {
 	p := datagen.Scaled(10)
 	p.Seed = 23
@@ -89,10 +89,10 @@ func TestSweepMatchesDenseCandidates(t *testing.T) {
 		t1s, t2s := pair[0].Tuples(), pair[1].Tuples()
 		sharedCon := []string{"x", "y"}
 		sharedRel := []string{"id"}
-		ecSweep := &exec.Context{SweepThreshold: 1}       // every bucket sweeps
-		ecDense := &exec.Context{SweepThreshold: 1 << 30} // every bucket is dense
-		sweep := pairCandidates(ecSweep, t1s, t2s, sharedRel, sharedCon)
-		dense := pairCandidates(ecDense, t1s, t2s, sharedRel, sharedCon)
+		ecSweep := &exec.Context{PlanMode: exec.PlanSweep} // every bucket sweeps
+		ecDense := &exec.Context{PlanMode: exec.PlanDense} // every bucket is dense
+		sweep := pairCandidates(ecSweep, "", t1s, t2s, sharedRel, sharedCon)
+		dense := pairCandidates(ecDense, "", t1s, t2s, sharedRel, sharedCon)
 		if sweep.total != dense.total {
 			t.Fatalf("%s: totals differ: %d vs %d", name, sweep.total, dense.total)
 		}

@@ -1,0 +1,216 @@
+package cqa
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cdb/internal/constraint"
+	"cdb/internal/exec"
+	"cdb/internal/obs"
+	"cdb/internal/rational"
+	"cdb/internal/relation"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestChooseSweepAttrTieBreak pins the documented tie-break of the sweep
+// attribute choice: candidates are visited in lexicographic order and a
+// later attribute needs a strictly greater boundedness score to replace
+// the incumbent, so on a tie the lexicographically first attribute wins —
+// regardless of the order the caller lists the shared attributes in.
+func TestChooseSweepAttrTieBreak(t *testing.T) {
+	// Both x and y are two-sided-bounded in every envelope on both sides:
+	// identical scores, so the choice is decided purely by the tie-break.
+	mk := func(n int) []constraint.Envelope {
+		out := make([]constraint.Envelope, n)
+		for i := range out {
+			k := fmt.Sprint(i)
+			out[i] = constraint.And(
+				ge("x", k), le("x", fmt.Sprint(i+1)),
+				ge("y", k), le("y", fmt.Sprint(i+1)),
+			).Envelope()
+		}
+		return out
+	}
+	env1, env2 := mk(4), mk(3)
+	for _, shared := range [][]string{{"x", "y"}, {"y", "x"}} {
+		if got := chooseSweepAttr(shared, env1, env2); got != "x" {
+			t.Errorf("chooseSweepAttr(%v) = %q, want lex-first %q on a tie", shared, got, "x")
+		}
+	}
+	// A strictly better-scored later attribute must still win: unbound x
+	// on one side so y's score dominates.
+	lop := make([]constraint.Envelope, len(env1))
+	for i := range env1 {
+		lop[i] = constraint.And(ge("y", "0"), le("y", "9")).Envelope()
+	}
+	if got := chooseSweepAttr([]string{"x", "y"}, lop, env2); got != "y" {
+		t.Errorf("chooseSweepAttr with x unbounded = %q, want %q", got, "y")
+	}
+}
+
+// TestStrategyEquivalence is the physical planner's acceptance contract:
+// every pairing strategy — forced dense, forced sweep, forced index, and
+// the cost model's auto pick — produces byte-identical output (same
+// tuples, same order) on every binary operator and workload shape, both
+// sequentially and under the worker pool. Forced modes disable the
+// small-bucket dense escape, so sweep and index really run.
+func TestStrategyEquivalence(t *testing.T) {
+	ops := map[string]func(ec *exec.Context, r1, r2 *relation.Relation) (*relation.Relation, error){
+		"join":       JoinCtx,
+		"intersect":  IntersectCtx,
+		"difference": DifferenceCtx,
+	}
+	modes := []string{exec.PlanDense, exec.PlanSweep, exec.PlanIndex, exec.PlanAuto}
+	for wName, pair := range pruneInputs(t) {
+		for opName, op := range ops {
+			for _, par := range []int{1, 4} {
+				baseline := &exec.Context{Parallelism: par, SeqThreshold: 1, PlanMode: exec.PlanDense}
+				want, err := op(baseline, pair[0], pair[1])
+				if err != nil {
+					t.Fatalf("%s %s par%d dense: %v", wName, opName, par, err)
+				}
+				wantDump := dump(want)
+				for _, mode := range modes {
+					ec := &exec.Context{Parallelism: par, SeqThreshold: 1, PlanMode: mode}
+					got, err := op(ec, pair[0], pair[1])
+					if err != nil {
+						t.Fatalf("%s %s par%d %s: %v", wName, opName, par, mode, err)
+					}
+					if dump(got) != wantDump {
+						t.Errorf("%s %s par%d: -plan=%s output diverges from dense\ndense:\n%s\n%s:\n%s",
+							wName, opName, par, mode, wantDump, mode, dump(got))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEstimatorBounds pins the estimator's property the EXPLAIN ANALYZE
+// columns rely on: est_pairs is a true upper bound on the pairs that
+// survive the filter stage (act_pairs), whichever strategy ran, and a
+// non-empty join output implies a non-zero estimate (every join output
+// tuple descends from a surviving pair).
+func TestEstimatorBounds(t *testing.T) {
+	ops := map[string]func(ec *exec.Context, r1, r2 *relation.Relation) (*relation.Relation, error){
+		"join":       JoinCtx,
+		"intersect":  IntersectCtx,
+		"difference": DifferenceCtx,
+	}
+	modes := []string{exec.PlanAuto, exec.PlanDense, exec.PlanSweep, exec.PlanIndex}
+	for wName, pair := range pruneInputs(t) {
+		for opName, op := range ops {
+			for _, mode := range modes {
+				ec := &exec.Context{Parallelism: 2, SeqThreshold: 1, PlanMode: mode}
+				out, err := op(ec, pair[0], pair[1])
+				if err != nil {
+					t.Fatalf("%s %s %s: %v", wName, opName, mode, err)
+				}
+				var est, act int64
+				seen := false
+				for _, s := range ec.Stats() {
+					if s.Strategy == "" {
+						continue
+					}
+					seen = true
+					est += s.EstPairs
+					act += s.PairsTotal - s.PairsPruned
+				}
+				if !seen {
+					t.Fatalf("%s %s %s: no stats row carries a strategy", wName, opName, mode)
+				}
+				if est < act {
+					t.Errorf("%s %s %s: est_pairs %d < act_pairs %d — the estimate is not an upper bound",
+						wName, opName, mode, est, act)
+				}
+				if opName == "join" && out.Len() > 0 && est == 0 {
+					t.Errorf("%s %s %s: output has %d tuples but est_pairs = 0",
+						wName, opName, mode, out.Len())
+				}
+			}
+		}
+	}
+}
+
+// TestPlanPhysicalAnnotations: the physical pass stamps a strategy hint
+// exactly where plan-time statistics are exact — binary nodes over two
+// base-relation scans — and leaves nodes over intermediate results for
+// the runtime decision. A forced PlanMode shows up in the stamp.
+func TestPlanPhysicalAnnotations(t *testing.T) {
+	pair := pruneInputs(t)["clustered"]
+	env := Env{"R1": pair[0], "R2": pair[1]}
+
+	ec := &exec.Context{}
+	planned := PlanPhysical(NewJoin(Scan("R1"), Scan("R2")), env, ec)
+	j, ok := planned.(*JoinNode)
+	if !ok {
+		t.Fatalf("PlanPhysical changed the node type: %T", planned)
+	}
+	switch j.Strategy {
+	case exec.PlanDense, exec.PlanSweep, exec.PlanIndex:
+	default:
+		t.Errorf("scan-children join stamped %q, want a concrete strategy", j.Strategy)
+	}
+
+	// A child that is not a base-relation scan leaves the node unstamped.
+	cond := Condition{AttrCmpConst("x", OpLe, rational.FromInt(500))}
+	planned = PlanPhysical(NewJoin(NewSelect(Scan("R1"), cond), Scan("R2")), env, ec)
+	if s := planned.(*JoinNode).Strategy; s != "" {
+		t.Errorf("join over an intermediate stamped %q, want unstamped", s)
+	}
+
+	// Difference gets the same treatment as join.
+	planned = PlanPhysical(NewDiff(Scan("R1"), Scan("R2")), env, ec)
+	if s := planned.(*DiffNode).Strategy; s == "" {
+		t.Error("scan-children difference left unstamped")
+	}
+
+	// A forced mode overrides the cost model in the stamp (the clustered
+	// boxes bound x and y on both sides, so index is applicable).
+	forced := &exec.Context{PlanMode: exec.PlanIndex}
+	planned = PlanPhysical(NewJoin(Scan("R1"), Scan("R2")), env, forced)
+	if s := planned.(*JoinNode).Strategy; s != exec.PlanIndex {
+		t.Errorf("forced index stamped %q", s)
+	}
+}
+
+// TestExplainPlanGolden pins the EXPLAIN ANALYZE surface of the planner:
+// the rendered span tree for a planned join shows the chosen strategy and
+// the est_pairs/act_pairs columns, byte-for-byte. The render excludes
+// wall times, and the fixture is seeded, so the output is deterministic.
+// Regenerate with: go test ./internal/cqa -run TestExplainPlanGolden -update
+func TestExplainPlanGolden(t *testing.T) {
+	pair := pruneInputs(t)["clustered"]
+	env := Env{"R1": pair[0], "R2": pair[1]}
+	node := NewProject(NewJoin(Scan("R1"), Scan("R2")), "id", "x", "y")
+
+	ec := &exec.Context{}
+	ec.Tracer = obs.NewTracer()
+	planned := Plan(node, env, ec)
+	if _, err := planned.EvalCtx(env, ec); err != nil {
+		t.Fatal(err)
+	}
+	got := obs.FormatTree(ec.Tracer.Roots(), obs.TreeOptions{})
+
+	golden := filepath.Join("testdata", "explain_plan.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("EXPLAIN tree diverges from golden %s (re-run with -update if intended)\nwant:\n%s\ngot:\n%s",
+			golden, want, got)
+	}
+}

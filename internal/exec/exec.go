@@ -85,6 +85,17 @@ type Context struct {
 	// the dense loop. Zero or negative means DefaultSweepThreshold.
 	SweepThreshold int
 
+	// PlanMode pins the pairing strategy of the binary CQA operators.
+	// Empty or PlanAuto — the zero value, correct for every caller —
+	// lets the physical planner's cost model choose per operator; the
+	// explicit modes (PlanDense, PlanSweep, PlanIndex) force one
+	// strategy everywhere, which is how the strategy-equivalence tests
+	// and `cdbbench -expt plan` measure each strategy in isolation.
+	// Outputs are byte-identical across all modes; only the order of
+	// candidate enumeration inside the filter stage differs, and the
+	// surviving candidate set is re-sorted to the dense order.
+	PlanMode string
+
 	// Ctx, when non-nil, bounds every fan-out run under this context:
 	// Map (and through it each CQA operator's per-tuple loop) stops
 	// claiming work items once Ctx is done and returns Ctx's error, and
@@ -158,6 +169,38 @@ func (c *Context) SweepSize() int {
 		return DefaultSweepThreshold
 	}
 	return c.SweepThreshold
+}
+
+// Pairing strategies for the binary CQA operators' filter stage. These
+// are the values of Context.PlanMode (where PlanAuto means "cost model
+// decides") and of the per-operator Strategy stats column / strategy=
+// EXPLAIN label (where the auto decision has been resolved to one of the
+// three concrete strategies).
+const (
+	PlanAuto  = "auto"
+	PlanDense = "dense"
+	PlanSweep = "sweep"
+	PlanIndex = "index"
+)
+
+// Plan returns the effective planning mode: PlanAuto on the nil Context
+// or when PlanMode is unset.
+func (c *Context) Plan() string {
+	if c == nil || c.PlanMode == "" {
+		return PlanAuto
+	}
+	return c.PlanMode
+}
+
+// ValidPlanMode reports whether s names a planning mode ("" counts: it
+// is the zero-value spelling of auto). The CLIs and the server validate
+// the -plan knob with this before it reaches a Context.
+func ValidPlanMode(s string) bool {
+	switch s {
+	case "", PlanAuto, PlanDense, PlanSweep, PlanIndex:
+		return true
+	}
+	return false
 }
 
 // Err reports why the context's Ctx was cancelled: nil while it is live

@@ -23,6 +23,8 @@ type OpStats struct {
 	CacheHits   int64         // sat decisions answered by the memoized engine
 	CacheMisses int64         // sat decisions that ran the raw eliminator (cache enabled)
 	FMDecisions int64         // raw Fourier-Motzkin eliminator runs during the operator (process-wide delta; attribution is exact when one operator runs at a time)
+	EstPairs    int64         // binary operators: the planner's pre-execution estimate of surviving candidate pairs (upper bound; compare to PairsTotal-PairsPruned)
+	Strategy    string        // binary operators: the pairing strategy that ran (dense, sweep, index); empty for unary operators
 	Wall        time.Duration // wall time of the operator
 	Parallel    bool          // whether the worker pool was used
 }
@@ -45,6 +47,8 @@ type OpRecorder struct {
 	tuplesOut   atomic.Int64
 	cacheHits   atomic.Int64
 	cacheMisses atomic.Int64
+	estPairs    int64  // written by Pairing before the fan-out starts
+	strategy    string // written by Pairing before the fan-out starts
 }
 
 // StartOp opens a recorder for one operator invocation. Returns nil (a
@@ -128,6 +132,21 @@ func (r *OpRecorder) Pairs(total, pruned int64) {
 	r.pruned.Add(pruned)
 }
 
+// Pairing records the physical planner's decision for a binary
+// operator's filter stage: the concrete strategy that will enumerate
+// candidates (dense, sweep or index — auto already resolved) and the
+// cost model's upper-bound estimate of surviving pairs. Call it once,
+// before the refine fan-out starts — unlike the counters it is not
+// synchronised, mirroring how the strategy decision itself happens on
+// the plan-tree goroutine.
+func (r *OpRecorder) Pairing(strategy string, estPairs int64) {
+	if r == nil {
+		return
+	}
+	r.strategy = strategy
+	r.estPairs = estPairs
+}
+
 // AddOut records n output tuples.
 func (r *OpRecorder) AddOut(n int) {
 	if r == nil {
@@ -156,6 +175,8 @@ func (r *OpRecorder) Done(parallel bool) {
 		CacheHits:   r.cacheHits.Load(),
 		CacheMisses: r.cacheMisses.Load(),
 		FMDecisions: constraint.DecisionCount() - r.fmStart,
+		EstPairs:    r.estPairs,
+		Strategy:    r.strategy,
 		Wall:        time.Since(r.start),
 		Parallel:    parallel,
 	}
@@ -174,6 +195,16 @@ func (r *OpRecorder) Done(parallel bool) {
 		setNonZero("hit", s.CacheHits)
 		setNonZero("miss", s.CacheMisses)
 		setNonZero("fm", s.FMDecisions)
+		if s.Strategy != "" {
+			// The planner's view of this operator: chosen strategy,
+			// estimated surviving pairs, and what actually survived —
+			// est_pairs ≥ act_pairs by the estimator's upper-bound
+			// contract, and the gap is the estimation error EXPLAIN
+			// ANALYZE exists to expose.
+			r.span.SetLabel("strategy", s.Strategy)
+			r.span.Set("est_pairs", s.EstPairs)
+			r.span.Set("act_pairs", s.PairsTotal-s.PairsPruned)
+		}
 		if parallel {
 			r.span.Set("par", 1)
 		}
@@ -246,6 +277,12 @@ func (c *Context) Summary() []OpStats {
 		out[i].CacheHits += s.CacheHits
 		out[i].CacheMisses += s.CacheMisses
 		out[i].FMDecisions += s.FMDecisions
+		out[i].EstPairs += s.EstPairs
+		if out[i].Strategy != s.Strategy {
+			// Same operator ran under different strategies across the
+			// aggregated invocations: no single label is truthful.
+			out[i].Strategy = "mixed"
+		}
 		out[i].Wall += s.Wall
 		out[i].Parallel = out[i].Parallel || s.Parallel
 	}
@@ -257,17 +294,21 @@ func (c *Context) Summary() []OpStats {
 func FormatStats(stats []OpStats) string {
 	var b strings.Builder
 	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
-	fmt.Fprintln(w, "operator\tin\tout\tpairs\tfiltered\tsat-checks\tpruned\tcache-hit\tcache-miss\tfm\twall\tmode")
+	fmt.Fprintln(w, "operator\tin\tout\tpairs\tfiltered\test\tsat-checks\tpruned\tcache-hit\tcache-miss\tfm\twall\tmode\tstrategy")
 	for _, s := range stats {
 		mode := "seq"
 		if s.Parallel {
 			mode = "par"
 		}
-		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%s\t%s\n",
-			s.Op, s.TuplesIn, s.TuplesOut, s.PairsTotal, s.PairsPruned,
+		strategy := s.Strategy
+		if strategy == "" {
+			strategy = "-"
+		}
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%s\t%s\t%s\n",
+			s.Op, s.TuplesIn, s.TuplesOut, s.PairsTotal, s.PairsPruned, s.EstPairs,
 			s.SatChecks, s.PrunedUnsat,
 			s.CacheHits, s.CacheMisses, s.FMDecisions,
-			s.Wall.Round(time.Microsecond), mode)
+			s.Wall.Round(time.Microsecond), mode, strategy)
 	}
 	w.Flush()
 	return b.String()

@@ -13,7 +13,7 @@ import (
 // -stats table columns where both exist.
 var counterOrder = []string{
 	"in", "out", "sat", "pruned", "hit", "miss", "fm",
-	"pairs", "filtered",
+	"pairs", "filtered", "est_pairs", "act_pairs",
 	"items", "workers", "relations", "tuples",
 	"queue_ns", "busy_ns", "maxbusy_ns",
 }
@@ -45,12 +45,14 @@ func FormatTree(roots []*Span, opt TreeOptions) string {
 
 func formatSpan(b *strings.Builder, s *Span, selfPrefix, childPrefix string, opt TreeOptions) {
 	counters := s.Counters()
+	labels := s.Labels()
 	wall := s.Wall()
 	children := s.Children()
 
 	// Fold a child span of the same name (the operator recorder under
-	// its plan node) into this line: its counters merge here and its own
-	// children (the pool fanout spans) are hoisted into this node.
+	// its plan node) into this line: its counters merge here, its labels
+	// fill in any the plan node did not set itself, and its own children
+	// (the pool fanout spans) are hoisted into this node.
 	var kept []*Span
 	var fold func(list []*Span)
 	fold = func(list []*Span) {
@@ -58,6 +60,14 @@ func formatSpan(b *strings.Builder, s *Span, selfPrefix, childPrefix string, opt
 			if c.Name == s.Name {
 				for k, v := range c.Counters() {
 					counters[k] += v
+				}
+				for k, v := range c.Labels() {
+					if _, ok := labels[k]; !ok {
+						if labels == nil {
+							labels = make(map[string]string, 2)
+						}
+						labels[k] = v
+					}
 				}
 				fold(c.Children())
 				continue
@@ -72,7 +82,7 @@ func formatSpan(b *strings.Builder, s *Span, selfPrefix, childPrefix string, opt
 	if d := truncateDetail(s.Detail, opt.MaxDetail); d != "" {
 		fmt.Fprintf(b, " %s", d)
 	}
-	if line := counterLine(counters); line != "" {
+	if line := annotationLine(labels, counters); line != "" {
 		fmt.Fprintf(b, "  [%s]", line)
 	}
 	if opt.Wall && wall > 0 {
@@ -99,6 +109,24 @@ func truncateDetail(d string, max int) string {
 		return d
 	}
 	return string(r[:max-1]) + "…"
+}
+
+// annotationLine renders labels (sorted by key) ahead of the counters —
+// the planner's strategy= annotation reads first on a plan-node line.
+func annotationLine(labels map[string]string, counters map[string]int64) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, 0, len(keys)+1)
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%s", k, labels[k]))
+	}
+	if line := counterLine(counters); line != "" {
+		parts = append(parts, line)
+	}
+	return strings.Join(parts, " ")
 }
 
 // counterLine renders counters in display order, humanizing *_ns keys
@@ -142,12 +170,13 @@ func counterLine(counters map[string]int64) string {
 // output). Wall time is in nanoseconds; Start is the offset from the
 // trace's first span in nanoseconds, so traces diff cleanly across runs.
 type SpanJSON struct {
-	Name     string           `json:"name"`
-	Detail   string           `json:"detail,omitempty"`
-	StartNS  int64            `json:"start_ns"`
-	WallNS   int64            `json:"wall_ns"`
-	Counters map[string]int64 `json:"counters,omitempty"`
-	Children []SpanJSON       `json:"children,omitempty"`
+	Name     string            `json:"name"`
+	Detail   string            `json:"detail,omitempty"`
+	StartNS  int64             `json:"start_ns"`
+	WallNS   int64             `json:"wall_ns"`
+	Labels   map[string]string `json:"labels,omitempty"`
+	Counters map[string]int64  `json:"counters,omitempty"`
+	Children []SpanJSON        `json:"children,omitempty"`
 }
 
 // TraceJSON marshals a span forest as indented JSON.
@@ -171,6 +200,7 @@ func spanJSON(s *Span, base time.Time) SpanJSON {
 		Detail:   s.Detail,
 		StartNS:  s.start.Sub(base).Nanoseconds(),
 		WallNS:   s.Wall().Nanoseconds(),
+		Labels:   s.Labels(),
 		Counters: s.Counters(),
 	}
 	if len(j.Counters) == 0 {

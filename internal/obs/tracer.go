@@ -108,6 +108,7 @@ type Span struct {
 	mu       sync.Mutex
 	children []*Span
 	counters map[string]int64
+	labels   map[string]string
 }
 
 // StartChild opens a child span.
@@ -146,6 +147,49 @@ func (s *Span) Set(key string, n int64) {
 	}
 	s.counters[key] = n
 	s.mu.Unlock()
+}
+
+// SetLabel stores a named string label on the span. Labels carry the
+// non-numeric facts EXPLAIN ANALYZE wants per plan node — the physical
+// planner's chosen pairing strategy, for one — and render ahead of the
+// counters in FormatTree. Safe from concurrent pool workers.
+func (s *Span) SetLabel(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.labels == nil {
+		s.labels = make(map[string]string, 2)
+	}
+	s.labels[key] = value
+	s.mu.Unlock()
+}
+
+// Label returns the named label's value ("" when absent).
+func (s *Span) Label(key string) string {
+	if s == nil {
+		return ""
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.labels[key]
+}
+
+// Labels returns a copy of the span's labels (nil when there are none).
+func (s *Span) Labels() map[string]string {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.labels) == 0 {
+		return nil
+	}
+	out := make(map[string]string, len(s.labels))
+	for k, v := range s.labels {
+		out[k] = v
+	}
+	return out
 }
 
 // Counter returns the named counter's current value (0 when absent).

@@ -304,3 +304,63 @@ func TestTraceJSON(t *testing.T) {
 		t.Errorf("join span wrong (JSON keeps recorder spans unfolded): %+v", join)
 	}
 }
+
+// TestSpanLabels covers the string-label side of spans: set/get,
+// nil-safety, rendering ahead of counters, fold inheritance (the
+// operator recorder's strategy label surfaces on the plan-node line,
+// without overriding one the plan node set itself), and JSON export.
+func TestSpanLabels(t *testing.T) {
+	tr := NewTracer()
+	join := tr.StartSpan("join", "")
+	join.Set("pairs", 12)
+	rec := join.StartChild("join", "")
+	rec.SetLabel("strategy", "index")
+	rec.Set("sat", 3)
+	rec.End()
+	join.End()
+
+	if got := rec.Label("strategy"); got != "index" {
+		t.Errorf("Label(strategy) = %q, want index", got)
+	}
+	if got := rec.Label("absent"); got != "" {
+		t.Errorf("Label(absent) = %q, want empty", got)
+	}
+	if ls := join.Labels(); ls != nil {
+		t.Errorf("plan node has no own labels, got %v", ls)
+	}
+
+	out := FormatTree(tr.Roots(), TreeOptions{})
+	if !strings.Contains(out, "[strategy=index sat=3 pairs=12]") {
+		t.Errorf("folded line should lead with the strategy label:\n%s", out)
+	}
+
+	// A label the plan node set itself survives the fold.
+	tr2 := NewTracer()
+	d := tr2.StartSpan("difference", "")
+	d.SetLabel("strategy", "dense")
+	rec2 := d.StartChild("difference", "")
+	rec2.SetLabel("strategy", "sweep")
+	rec2.End()
+	d.End()
+	if out := FormatTree(tr2.Roots(), TreeOptions{}); !strings.Contains(out, "strategy=dense") {
+		t.Errorf("fold overwrote the parent's own label:\n%s", out)
+	}
+
+	b, err := TraceJSON(tr.Roots())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var spans []SpanJSON
+	if err := json.Unmarshal(b, &spans); err != nil {
+		t.Fatal(err)
+	}
+	if spans[0].Children[0].Labels["strategy"] != "index" {
+		t.Errorf("TraceJSON lost the label: %+v", spans[0].Children[0])
+	}
+
+	var nilSpan *Span
+	nilSpan.SetLabel("k", "v")
+	if nilSpan.Label("k") != "" || nilSpan.Labels() != nil {
+		t.Error("nil span label methods not nil-safe")
+	}
+}

@@ -90,7 +90,11 @@ func evalExpr(e *Expr, env cqa.Env, optimize bool, ec *exec.Context) (*relation.
 		return nil, err
 	}
 	if optimize {
-		node = cqa.Optimize(node, env.Schemas())
+		// The full two-phase planner: syntactic rules, cost-driven
+		// rewrites, then physical pairing-strategy annotation — the
+		// environment holds real relations here, so the estimator's
+		// statistics are exact.
+		node = cqa.Plan(node, env, ec)
 	}
 	return node.EvalCtx(env, ec)
 }

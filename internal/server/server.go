@@ -45,6 +45,7 @@ import (
 
 	"cdb/internal/constraint"
 	"cdb/internal/db"
+	"cdb/internal/exec"
 	"cdb/internal/obs"
 )
 
@@ -535,6 +536,7 @@ type sessionInfo struct {
 	Workers   int        `json:"workers"`
 	SatCache  int        `json:"sat_cache_entries"`
 	NoPrune   bool       `json:"no_prune,omitempty"`
+	Plan      string     `json:"plan,omitempty"` // pairing strategy; omitted when auto
 	Queries   int64      `json:"queries"`
 	Results   []string   `json:"results,omitempty"`
 	CreatedMS int64      `json:"created_unix_ms"`
@@ -560,6 +562,7 @@ func (s *Server) sessionInfo(sess *session) sessionInfo {
 		DB:        sess.dbName,
 		Workers:   sess.ec.Workers(),
 		NoPrune:   sess.ec.NoPrune,
+		Plan:      sess.ec.PlanMode,
 		Queries:   sess.queries.Load(),
 		Results:   results,
 		CreatedMS: sess.created.UnixMilli(),
@@ -585,6 +588,11 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	// An absent or empty body means "all defaults".
 	if err := decodeJSON(w, r, &opts); err != nil && !errors.Is(err, io.EOF) {
 		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if opts.Plan != nil && !exec.ValidPlanMode(*opts.Plan) {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("invalid plan %q (want auto, dense, sweep or index)", *opts.Plan))
 		return
 	}
 	dbName := opts.DB

@@ -154,6 +154,31 @@ func TestSessionDefaultsAndValidation(t *testing.T) {
 	}
 }
 
+func TestSessionPlanOption(t *testing.T) {
+	_, ts := newTestServer(t, Config{}, nil)
+	id := openSession(t, ts, `{"plan": "index"}`)
+	status, body := getJSON(t, ts.URL+"/v1/sessions/"+id)
+	if status != http.StatusOK || !bytes.Contains(body, []byte(`"plan": "index"`)) {
+		t.Fatalf("session info does not echo the plan option: %d %s", status, body)
+	}
+	// The forced strategy must not change query results.
+	statusQ, resp, bodyQ := runQueryReq(t, ts,
+		fmt.Sprintf(`{"session": %q, "query": "R = join Hurricane and Land"}`, id))
+	if statusQ != http.StatusOK {
+		t.Fatalf("query on plan=index session: %d %s", statusQ, bodyQ)
+	}
+	def := openSession(t, ts, ``)
+	_, respDef, _ := runQueryReq(t, ts,
+		fmt.Sprintf(`{"session": %q, "query": "R = join Hurricane and Land"}`, def))
+	if got, want := fmt.Sprint(resp.Tuples), fmt.Sprint(respDef.Tuples); got != want {
+		t.Errorf("plan=index result differs from default plan\nindex: %s\nauto:  %s", got, want)
+	}
+	// An unknown strategy is rejected up front.
+	if status, _, _ := postJSON(t, ts.URL+"/v1/sessions", `{"plan": "bogus"}`); status != http.StatusBadRequest {
+		t.Fatalf("invalid plan: %d, want 400", status)
+	}
+}
+
 func TestSessionLimit(t *testing.T) {
 	_, ts := newTestServer(t, Config{MaxSessions: 2}, nil)
 	openSession(t, ts, ``)

@@ -50,8 +50,9 @@ type sessionOptions struct {
 	Par            *int   `json:"par,omitempty"`
 	SatCache       *int   `json:"sat_cache,omitempty"`
 	SeqThreshold   *int   `json:"seq_threshold,omitempty"`
-	SweepThreshold *int   `json:"sweep_threshold,omitempty"`
-	NoPrune        *bool  `json:"no_prune,omitempty"`
+	SweepThreshold *int    `json:"sweep_threshold,omitempty"`
+	NoPrune        *bool   `json:"no_prune,omitempty"`
+	Plan           *string `json:"plan,omitempty"` // pairing strategy: auto|dense|sweep|index
 }
 
 // newSession builds a session against base with opts layered over the
@@ -62,6 +63,9 @@ func newSession(id, dbName string, base *db.Database, opts sessionOptions, cfg C
 	ec.SweepThreshold = orDefault(opts.SweepThreshold, 0)
 	if opts.NoPrune != nil {
 		ec.NoPrune = *opts.NoPrune
+	}
+	if opts.Plan != nil {
+		ec.PlanMode = *opts.Plan
 	}
 	cacheSize := cfg.defaultSatCache()
 	if opts.SatCache != nil {

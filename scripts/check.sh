@@ -71,4 +71,17 @@ echo '>> prune smoke'
 go run ./cmd/cdbbench -expt prune -cqasize 16 -rounds 1 \
     -json /tmp/cdb_prune_smoke.json >/dev/null
 scripts/benchdiff.sh /tmp/cdb_prune_smoke.json /tmp/cdb_prune_smoke.json >/dev/null
+
+# Plan smoke: the physical-planner experiment forces every pairing
+# strategy (dense, sweep, index) against the cost model's auto pick and
+# fails inside cdbbench unless all outputs are byte-identical; benchdiff
+# then self-compares the JSON so the plan measurements stay diffable. The
+# 200-case oracle run guards the planner end to end: cost rewrites plus
+# strategy switching against the naive reference evaluator, zero
+# disagreements allowed.
+echo '>> plan smoke'
+go run ./cmd/cdbbench -expt plan -cqasize 16 -rounds 1 \
+    -json /tmp/cdb_plan_smoke.json >/dev/null
+scripts/benchdiff.sh /tmp/cdb_plan_smoke.json /tmp/cdb_plan_smoke.json >/dev/null
+go run ./cmd/cdbbench -expt diff -n 200 -seed 3 -par 2 >/dev/null
 echo 'OK'
