@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-parallel bench-canon bench-prune bench-plan obs-demo fuzz diff serve
+.PHONY: build test check bench bench-parallel bench-all bench-canon bench-prune bench-plan obs-demo fuzz diff serve
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,16 @@ serve:
 obs-demo:
 	$(GO) run ./cmd/cqacdb -demo hurricane -par 4 -explain -stats \
 		-e "$$(printf 'R0 = join Landownership and Land\nR1 = select t >= 4, t <= 9 from R0\nR2 = project R1 on name')"
+
+# Regenerates all three committed measurement files in one shot. Run it
+# before committing a change that touches the kernel, the pairing engine
+# or the planner, and review the wall-time movement against the old
+# files with scripts/benchdiff.sh:
+#
+#   git stash -- BENCH_*.json   # or: git show HEAD:BENCH_plan.json > /tmp/old.json
+#   make bench-all
+#   scripts/benchdiff.sh /tmp/old.json BENCH_plan.json
+bench-all: bench-canon bench-prune bench-plan
 
 # Measures what the canonical-form sat-cache saves: raw Fourier-Motzkin
 # decision counts and wall time, cold vs warm, on the cqa operator

@@ -42,7 +42,16 @@
 //     (Prometheus text format), /debug/vars (expvar) and /debug/pprof/...
 //     for the life of the process;
 //   - -slowlog D (e.g. 10ms) logs every span at least that slow through
-//     log/slog on stderr, so pathological conjunctions surface themselves.
+//     log/slog on stderr, so pathological conjunctions surface themselves;
+//   - -query-log FILE appends every executed program as one NDJSON
+//     flight record (query id, wall time, rows, outcome, per-operator
+//     rollups with planner est/act pair counts and q-error) and warns on
+//     stderr when a plan node's cardinality estimate is badly off.
+//
+// When any of -explain, -trace-json, -slowlog or -query-log is active,
+// each program gets a flight-recorder query id ("q<seq>-<8 hex>"): root
+// spans carry it as a query_id label, slow-span records and NDJSON
+// flight records reference it, so the three outputs join.
 //
 // Tracing changes what is *reported*, never what is computed: operator
 // outputs are byte-identical with observability on or off.
@@ -65,6 +74,7 @@ import (
 	"log/slog"
 	"os"
 	"strings"
+	"time"
 
 	"cdb/internal/calculus"
 	"cdb/internal/constraint"
@@ -103,6 +113,7 @@ func run(args []string) error {
 	slowlog := fs.Duration("slowlog", 0, "log spans at least this slow via slog (0 = off)")
 	noPrune := fs.Bool("no-prune", false, "disable the binary operators' candidate filter (dense nested-loop pairing)")
 	plan := fs.String("plan", exec.PlanAuto, "pairing strategy: auto (cost-based planner), dense, sweep, or index")
+	queryLog := fs.String("query-log", "", "append every executed program as one NDJSON flight record to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -125,11 +136,30 @@ func run(args []string) error {
 		}
 		ec.Tracer = s.tracer
 	}
+	if *queryLog != "" {
+		f, err := os.OpenFile(*queryLog, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			return fmt.Errorf("-query-log: %w", err)
+		}
+		defer f.Close()
+		// Capacity 1: the CLI never serves the history ring; the recorder
+		// is here for the NDJSON stream and the misestimate warnings.
+		s.flight = obs.NewFlight(1)
+		s.flight.Log = f
+		if s.tracer != nil && s.tracer.Logger != nil {
+			s.flight.Logger = s.tracer.Logger
+		} else {
+			s.flight.Logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+		}
+	}
 	if *metricsAddr != "" {
 		reg := obs.NewRegistry()
 		ec.InstallMetrics(reg)
 		if s.tracer != nil {
 			s.tracer.Metrics = reg
+		}
+		if s.flight != nil {
+			s.flight.Metrics = reg
 		}
 		srv, err := obs.ServeMetrics(*metricsAddr, reg)
 		if err != nil {
@@ -158,10 +188,13 @@ func run(args []string) error {
 	}
 
 	if *expr != "" {
+		s.begin()
 		out, err := d.RunCtx(*expr, ec)
 		if err != nil {
+			s.finish(*expr, 0, err)
 			return err
 		}
+		s.finish(*expr, out.Len(), nil)
 		printRelation(out, *maxRows)
 		return s.report(os.Stdout)
 	}
@@ -170,10 +203,13 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
+		s.begin()
 		out, err := prog.RunCtx(d.Env(), ec)
 		if err != nil {
+			s.finish(*rules, 0, err)
 			return err
 		}
+		s.finish(*rules, out.Len(), nil)
 		printRelation(out, *maxRows)
 		return s.report(os.Stdout)
 	}
@@ -183,10 +219,13 @@ func run(args []string) error {
 			if err != nil {
 				return err
 			}
+			s.begin()
 			out, err := d.RunCtx(string(src), ec)
 			if err != nil {
+				s.finish(string(src), 0, err)
 				return fmt.Errorf("%s: %w", path, err)
 			}
+			s.finish(string(src), out.Len(), nil)
 			fmt.Printf("== %s ==\n", path)
 			printRelation(out, *maxRows)
 			if err := s.report(os.Stdout); err != nil {
@@ -199,13 +238,82 @@ func run(args []string) error {
 }
 
 // session bundles one CLI invocation's execution context with its
-// observability outputs (-stats table, -explain tree, -trace-json file).
+// observability outputs (-stats table, -explain tree, -trace-json file,
+// -query-log flight records).
 type session struct {
 	ec        *exec.Context
 	tracer    *obs.Tracer
+	flight    *obs.Flight
 	stats     bool
 	explain   bool
 	traceJSON string
+
+	// Per-program flight-recorder state, set by begin and consumed by
+	// finish. qid is empty when no observability sink wants an identity.
+	qid    string
+	start  time.Time
+	cache0 constraint.CacheStats
+}
+
+// begin opens a query identity for the next program. The id is
+// generated only when something consumes it — the tracer stamps it on
+// root spans and slow-span records, the flight recorder keys NDJSON
+// records by it — so plain runs stay id-free and byte-identical.
+func (s *session) begin() {
+	if s.tracer == nil && s.flight == nil {
+		return
+	}
+	s.qid = obs.NewQueryID()
+	s.start = time.Now()
+	if s.tracer != nil {
+		s.tracer.QueryID = s.qid
+	}
+	if s.ec.SatCache != nil {
+		s.cache0 = s.ec.SatCache.Stats()
+	}
+}
+
+// finish records the finished program as a flight record: NDJSON to the
+// -query-log file plus misestimate warnings on stderr. It must run
+// before report(), which resets the per-operator stats the record's
+// rollups are derived from.
+func (s *session) finish(src string, rows int, err error) {
+	if s.flight == nil || s.qid == "" {
+		return
+	}
+	elapsed := time.Since(s.start)
+	rec := obs.FlightRecord{
+		ID:           s.qid,
+		Statement:    firstLine(src),
+		StartUnixMS:  s.start.UnixMilli(),
+		WallMS:       float64(elapsed.Microseconds()) / 1000,
+		Rows:         rows,
+		Outcome:      obs.OutcomeOf(err),
+		CacheHitRate: -1,
+		Ops:          exec.FlightRollup(s.ec.Stats()),
+	}
+	if err != nil {
+		rec.Error = err.Error()
+	}
+	if s.ec.SatCache != nil {
+		rec.CacheHitRate = 0
+		st := s.ec.SatCache.Stats()
+		if dh, dm := st.Hits-s.cache0.Hits, st.Misses-s.cache0.Misses; dh+dm > 0 {
+			rec.CacheHitRate = float64(dh) / float64(dh+dm)
+		}
+	}
+	s.flight.Finish(rec)
+}
+
+// firstLine returns the first non-empty line of src (the flight
+// record's statement field).
+func firstLine(src string) string {
+	for _, line := range strings.Split(src, "\n") {
+		if line = strings.TrimSpace(line); line != "" {
+			return line
+		}
+	}
+	return ""
 }
 
 // report renders and clears the per-program observability state: the
@@ -316,11 +424,14 @@ func repl(d *db.Database, maxRows int, s *session, in io.Reader, out io.Writer) 
 				fmt.Fprintln(out, err)
 				continue
 			}
+			s.begin()
 			res, err := prog.RunOptimizedCtx(d.Env(), s.ec)
 			if err != nil {
+				s.finish(line, 0, err)
 				fmt.Fprintln(out, err)
 				continue
 			}
+			s.finish(line, res.Len(), nil)
 			// Persist every statement's target so later lines can build on
 			// earlier ones.
 			for _, st := range prog.Stmts {

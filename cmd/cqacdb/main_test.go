@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -241,5 +242,116 @@ func TestREPLStats(t *testing.T) {
 	}
 	if len(ec.Stats()) != 0 {
 		t.Error("stats not reset after printing")
+	}
+}
+
+// captureStdout runs fn with os.Stdout redirected to a pipe and returns
+// what it printed (run() prints results through package fmt).
+func captureStdout(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	b, readErr := io.ReadAll(r)
+	r.Close()
+	if readErr != nil {
+		t.Fatal(readErr)
+	}
+	return string(b), runErr
+}
+
+func TestQueryLogNDJSON(t *testing.T) {
+	logPath := filepath.Join(t.TempDir(), "queries.ndjson")
+	args := []string{"-demo", "hurricane", "-e",
+		"R0 = join Landownership and Land\nR1 = project R0 on name"}
+
+	plain, err := captureStdout(t, func() error { return run(args) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	logged, err := captureStdout(t, func() error {
+		return run(append([]string{"-query-log", logPath}, args...))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The recorder observes; it never changes what is printed.
+	if plain != logged {
+		t.Fatalf("-query-log changed stdout:\n--- plain ---\n%s\n--- logged ---\n%s", plain, logged)
+	}
+
+	b, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(b)), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("query log has %d lines, want 1:\n%s", len(lines), b)
+	}
+	var rec obs.FlightRecord
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("log line not JSON: %v\n%s", err, lines[0])
+	}
+	if !strings.HasPrefix(rec.ID, "q") || rec.Outcome != obs.OutcomeOK || rec.Rows == 0 {
+		t.Fatalf("flight record: %+v", rec)
+	}
+	if rec.Statement != "R0 = join Landownership and Land" {
+		t.Fatalf("record statement %q", rec.Statement)
+	}
+	if len(rec.Ops) == 0 || len(rec.Strategies) == 0 {
+		t.Fatalf("record missing rollups: %+v", rec)
+	}
+	if rec.CacheHitRate < 0 {
+		t.Fatalf("cache hit rate %v with the default cache on", rec.CacheHitRate)
+	}
+
+	// A failing program appends an error record (the file is O_APPEND:
+	// one process's records follow another's).
+	_, err = captureStdout(t, func() error {
+		return run([]string{"-demo", "hurricane", "-query-log", logPath, "-e", "R = select from X"})
+	})
+	if err == nil {
+		t.Fatal("bad query accepted")
+	}
+	b, _ = os.ReadFile(logPath)
+	lines = strings.Split(strings.TrimSpace(string(b)), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("query log has %d lines after error, want 2:\n%s", len(lines), b)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Outcome != obs.OutcomeError || rec.Error == "" {
+		t.Fatalf("error record: %+v", rec)
+	}
+}
+
+func TestExplainCarriesQueryID(t *testing.T) {
+	logPath := filepath.Join(t.TempDir(), "queries.ndjson")
+	out, err := captureStdout(t, func() error {
+		return run([]string{"-demo", "hurricane", "-explain", "-query-log", logPath,
+			"-e", "R = select landId = A from Landownership"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The root span is stamped with the flight-recorder id, so the
+	// EXPLAIN tree and the NDJSON record join on it.
+	if !strings.Contains(out, "query_id=q") {
+		t.Fatalf("explain output missing query_id label:\n%s", out)
+	}
+	b, _ := os.ReadFile(logPath)
+	var rec obs.FlightRecord
+	if err := json.Unmarshal([]byte(strings.TrimSpace(string(b))), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "query_id="+rec.ID) {
+		t.Fatalf("explain id and record id differ: record %q, explain:\n%s", rec.ID, out)
 	}
 }

@@ -16,6 +16,8 @@
 //	GET    /v1/sessions        list sessions        GET /v1/sessions/{id}  inspect one
 //	DELETE /v1/sessions/{id}   close a session
 //	GET    /v1/dbs             the shared database registry
+//	GET    /v1/queries         queries executing right now; DELETE /v1/queries/{id} cancels one
+//	GET    /v1/queries/recent  finished-query history (?min_ms=&limit=); /debug/queries for humans
 //	GET    /healthz            liveness (reports "draining" during shutdown)
 //	GET    /metrics            Prometheus text format; /debug/vars, /debug/pprof/...
 //
@@ -25,6 +27,11 @@
 // timeout_ms); -session-idle-timeout reaps abandoned sessions;
 // -max-sessions caps open sessions. -par and -sat-cache set the
 // defaults new sessions inherit (each session may override them).
+//
+// Flight recorder knobs: -query-history sizes the finished-query ring
+// behind /v1/queries/recent, -query-log appends every finished query as
+// NDJSON to a file, -qerror-warn sets the planner-misestimate warning
+// threshold.
 //
 // On SIGINT/SIGTERM the server drains: new queries get 503, in-flight
 // queries run to completion (bounded by -shutdown-grace), sessions are
@@ -49,6 +56,7 @@ import (
 	"cdb/internal/constraint"
 	"cdb/internal/db"
 	"cdb/internal/hurricane"
+	"cdb/internal/obs"
 	"cdb/internal/server"
 )
 
@@ -78,6 +86,12 @@ func run(args []string, out io.Writer) error {
 	grace := fs.Duration("shutdown-grace", 30*time.Second,
 		"how long shutdown waits for in-flight queries to drain")
 	quiet := fs.Bool("quiet", false, "suppress request logging on stderr")
+	queryHistory := fs.Int("query-history", obs.DefaultFlightCapacity,
+		"finished queries retained for GET /v1/queries/recent")
+	queryLog := fs.String("query-log", "",
+		"append every finished query as one NDJSON record to this file")
+	qerrorWarn := fs.Float64("qerror-warn", obs.DefaultQErrorThreshold,
+		"log a planner-misestimate warning when a plan node's q-error reaches this ratio")
 
 	dbs := map[string]*db.Database{}
 	fs.Func("db", "serve a database file as name=path (repeatable)", func(v string) error {
@@ -113,6 +127,15 @@ func run(args []string, out io.Writer) error {
 	if *quiet {
 		logger = nil
 	}
+	var queryLogW io.Writer
+	if *queryLog != "" {
+		f, err := os.OpenFile(*queryLog, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			return fmt.Errorf("-query-log: %w", err)
+		}
+		defer f.Close()
+		queryLogW = f
+	}
 	srv := server.New(dbs, server.Config{
 		MaxInflight:        *maxInflight,
 		MaxSessions:        *maxSessions,
@@ -120,6 +143,9 @@ func run(args []string, out io.Writer) error {
 		SessionIdleTimeout: *idleTimeout,
 		DefaultPar:         *par,
 		DefaultSatCache:    cacheSize(*satCache),
+		QueryHistory:       *queryHistory,
+		QueryLog:           queryLogW,
+		QErrorThreshold:    *qerrorWarn,
 		Logger:             logger,
 	})
 

@@ -176,3 +176,78 @@ func TestFlagValidation(t *testing.T) {
 		t.Fatal("malformed -db accepted")
 	}
 }
+
+// TestDaemonFlightRecorder boots with the flight-recorder flags and
+// exercises the query-history endpoints plus the NDJSON query log.
+func TestDaemonFlightRecorder(t *testing.T) {
+	logPath := filepath.Join(t.TempDir(), "queries.ndjson")
+	base, out, done := startDaemon(t, []string{"-demo", "hurricane",
+		"-addr", "127.0.0.1:0", "-quiet",
+		"-query-history", "8", "-query-log", logPath})
+
+	resp, err := http.Post(base+"/v1/sessions", "application/json", strings.NewReader(`{"par": 1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sess struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sess); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	resp, err = http.Post(base+"/v1/query", "application/json", strings.NewReader(fmt.Sprintf(
+		`{"session": %q, "query": "R = select x >= 1 from Land"}`, sess.ID)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !bytes.Contains(body, []byte(`"query_id"`)) {
+		t.Fatalf("query: %d %s", resp.StatusCode, body)
+	}
+
+	// The finished query is in the history ring...
+	resp, err = http.Get(base + "/v1/queries/recent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recent, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	// The encoder escapes ">" in the statement, so match around it.
+	if !bytes.Contains(recent, []byte(`"outcome": "ok"`)) ||
+		!bytes.Contains(recent, []byte("1 from Land")) {
+		t.Fatalf("queries/recent missing the query:\n%s", recent)
+	}
+	// ...on the human view...
+	resp, err = http.Get(base + "/debug/queries")
+	if err != nil {
+		t.Fatal(err)
+	}
+	debug, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !bytes.Contains(debug, []byte("recent queries")) {
+		t.Fatalf("debug/queries:\n%s", debug)
+	}
+	// ...and in the NDJSON log file.
+	logged, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(logged, []byte(`"outcome":"ok"`)) {
+		t.Fatalf("query log:\n%s", logged)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exited with error: %v\n%s", err, out.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatalf("daemon did not exit after SIGTERM:\n%s", out.String())
+	}
+}

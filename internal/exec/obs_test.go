@@ -269,3 +269,40 @@ func TestInstallMetrics(t *testing.T) {
 	nilCtx.InstallMetrics(reg)
 	New(1).InstallMetrics(nil)
 }
+
+func TestFlightRollup(t *testing.T) {
+	ops := []OpStats{
+		{Op: "select", TuplesIn: 10, TuplesOut: 4, SatChecks: 10, PrunedUnsat: 6,
+			CacheHits: 7, CacheMisses: 3, FMDecisions: 3, Wall: 1500 * time.Microsecond},
+		{Op: "join", TuplesIn: 8, TuplesOut: 5, PairsTotal: 16, PairsPruned: 10,
+			EstPairs: 9, Strategy: "sweep", Wall: 2 * time.Millisecond, Parallel: true},
+	}
+	rolls := FlightRollup(ops)
+	if len(rolls) != 2 {
+		t.Fatalf("rollup count %d, want 2", len(rolls))
+	}
+	sel := rolls[0]
+	if sel.Op != "select" || sel.In != 10 || sel.Out != 4 || sel.Sat != 10 ||
+		sel.Pruned != 6 || sel.CacheHits != 7 || sel.CacheMisses != 3 || sel.FM != 3 {
+		t.Fatalf("select roll: %+v", sel)
+	}
+	if sel.WallMS != 1.5 {
+		t.Fatalf("select wall %v ms, want 1.5", sel.WallMS)
+	}
+	// Unary operators carry no estimate: est/act stay zero even if the
+	// raw pair counters were somehow set.
+	if sel.Strategy != "" || sel.EstPairs != 0 || sel.ActPairs != 0 {
+		t.Fatalf("unary roll gained planner fields: %+v", sel)
+	}
+	join := rolls[1]
+	if join.Strategy != "sweep" || join.EstPairs != 9 {
+		t.Fatalf("join roll: %+v", join)
+	}
+	// act_pairs is the filter's survivor count: pairs minus pruned.
+	if join.ActPairs != 6 {
+		t.Fatalf("join act_pairs %d, want 16-10=6", join.ActPairs)
+	}
+	if FlightRollup(nil) != nil {
+		t.Fatal("empty rollup should be nil")
+	}
+}

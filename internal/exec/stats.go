@@ -289,6 +289,40 @@ func (c *Context) Summary() []OpStats {
 	return out
 }
 
+// FlightRollup converts per-operator records into the flight recorder's
+// rollup shape (obs.OpRoll), one entry per operator invocation — plan
+// nodes stay separate so the recorder's per-node q-error telemetry sees
+// each binary node's est_pairs/act_pairs individually, not a summed
+// blur. Pass ctx.Stats() for per-node records or ctx.Summary() for a
+// per-operator-name aggregate.
+func FlightRollup(ops []OpStats) []obs.OpRoll {
+	if len(ops) == 0 {
+		return nil
+	}
+	out := make([]obs.OpRoll, len(ops))
+	for i, s := range ops {
+		out[i] = obs.OpRoll{
+			Op:          s.Op,
+			In:          s.TuplesIn,
+			Out:         s.TuplesOut,
+			Sat:         s.SatChecks,
+			Pruned:      s.PrunedUnsat,
+			Pairs:       s.PairsTotal,
+			PairsPruned: s.PairsPruned,
+			CacheHits:   s.CacheHits,
+			CacheMisses: s.CacheMisses,
+			FM:          s.FMDecisions,
+			Strategy:    s.Strategy,
+			WallMS:      float64(s.Wall.Microseconds()) / 1000,
+		}
+		if s.Strategy != "" {
+			out[i].EstPairs = s.EstPairs
+			out[i].ActPairs = s.PairsTotal - s.PairsPruned
+		}
+	}
+	return out
+}
+
 // FormatStats renders operator records as an aligned table (the -stats
 // output of cmd/cqacdb and cmd/cdbbench).
 func FormatStats(stats []OpStats) string {

@@ -1,0 +1,435 @@
+package obs
+
+// This file is the query flight recorder: the workload-level half of the
+// observability layer. The tracer and the metrics registry answer "what
+// did this one query do"; the flight recorder answers the three
+// operational questions a resident process gets asked — what is running
+// *right now* (the in-flight registry, pg_stat_activity-style), what ran
+// recently and how did it go (a bounded history ring, slow-query-log-
+// style), and how far off was the planner (per-node q-error telemetry,
+// the measurement substrate for estimator work).
+//
+// Like the rest of the package it is stdlib-only and nil-safe: the nil
+// *Flight accepts every call as a no-op, so the CLIs record
+// unconditionally and pay one pointer test when the recorder is off.
+// Recording never changes what a query computes — the recorder only
+// observes identifiers, counters and outcomes that execution produced
+// anyway.
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultFlightCapacity is the history ring's default size (the
+// -query-history flag of cqacdbd).
+const DefaultFlightCapacity = 512
+
+// DefaultQErrorThreshold is the planner-accuracy ratio beyond which a
+// finished query's misestimated nodes are logged. 16 is two doublings
+// past "the estimate was off by 4×": far enough that envelope slack on
+// healthy workloads stays quiet, close enough that a strategy picked on
+// a wildly wrong cardinality surfaces itself.
+const DefaultQErrorThreshold = 16
+
+// Query outcomes recorded per finished query.
+const (
+	OutcomeOK       = "ok"
+	OutcomeError    = "error"
+	OutcomeTimeout  = "timeout"
+	OutcomeCanceled = "canceled"
+)
+
+// OutcomeOf classifies a query's terminal error as a flight-record
+// outcome: nil is OutcomeOK, a deadline is OutcomeTimeout, a
+// cancellation (client disconnect or DELETE /v1/queries/{id}) is
+// OutcomeCanceled, anything else OutcomeError.
+func OutcomeOf(err error) string {
+	switch {
+	case err == nil:
+		return OutcomeOK
+	case errors.Is(err, context.DeadlineExceeded):
+		return OutcomeTimeout
+	case errors.Is(err, context.Canceled):
+		return OutcomeCanceled
+	}
+	return OutcomeError
+}
+
+var queryCounter atomic.Int64
+
+// NewQueryID returns a fresh query identity "q<seq>-<8 hex>": the
+// process-monotonic sequence keeps ids log-sortable and collision-free
+// within a run, the random suffix keeps them unique across restarts (so
+// an NDJSON query log appended over several runs never repeats an id).
+func NewQueryID() string {
+	seq := queryCounter.Add(1)
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// A broken crypto/rand should not stop query execution; the
+		// sequence alone is still unique within the process.
+		return fmt.Sprintf("q%d", seq)
+	}
+	return fmt.Sprintf("q%d-%s", seq, hex.EncodeToString(b[:]))
+}
+
+// OpRoll is one operator invocation's rollup inside a flight record —
+// the per-plan-node numbers a finished query leaves behind. It mirrors
+// the execution layer's per-operator stats (exec.OpStats) without
+// importing it: obs stays dependency-free, and exec.FlightRollup does
+// the conversion.
+type OpRoll struct {
+	Op          string  `json:"op"`
+	In          int64   `json:"in"`
+	Out         int64   `json:"out"`
+	Sat         int64   `json:"sat,omitempty"`
+	Pruned      int64   `json:"pruned,omitempty"`
+	Pairs       int64   `json:"pairs,omitempty"`
+	PairsPruned int64   `json:"pairs_pruned,omitempty"`
+	CacheHits   int64   `json:"cache_hits,omitempty"`
+	CacheMisses int64   `json:"cache_misses,omitempty"`
+	FM          int64   `json:"fm,omitempty"`
+	Strategy    string  `json:"strategy,omitempty"` // binary nodes: the pairing strategy that ran
+	EstPairs    int64   `json:"est_pairs,omitempty"`
+	ActPairs    int64   `json:"act_pairs,omitempty"`
+	WallMS      float64 `json:"wall_ms"`
+}
+
+// FlightRecord is one finished query: identity, what ran, how long, how
+// much came out, how it ended, and the planner-accuracy evidence. It is
+// the unit of the history ring, of the /v1/queries/recent response, and
+// of the -query-log NDJSON stream (one record per line).
+type FlightRecord struct {
+	ID          string   `json:"id"`
+	Session     string   `json:"session,omitempty"`
+	Statement   string   `json:"statement"`
+	StartUnixMS int64    `json:"start_unix_ms"`
+	WallMS      float64  `json:"wall_ms"`
+	Rows        int      `json:"rows"`
+	Outcome     string   `json:"outcome"`
+	Error       string   `json:"error,omitempty"`
+	Strategies  []string `json:"strategies,omitempty"` // distinct pairing strategies, first-use order
+
+	// Planner accuracy, summed/maxed over the binary plan nodes:
+	// est/act pair totals and the worst per-node q-error
+	// (max(est/act, act/est), counts clamped to ≥1).
+	EstPairs int64   `json:"est_pairs,omitempty"`
+	ActPairs int64   `json:"act_pairs,omitempty"`
+	QError   float64 `json:"q_error,omitempty"`
+
+	// CacheHitRate is the sat-cache hit rate over this query's decisions
+	// alone (hits/(hits+misses) of the per-query counter delta). -1
+	// marks "no cache configured", distinguishing it from a true 0 (all
+	// misses).
+	CacheHitRate float64 `json:"cache_hit_rate"`
+
+	Ops []OpRoll `json:"ops,omitempty"`
+}
+
+// QError returns the planner-accuracy ratio max(est/act, act/est) with
+// both counts clamped to ≥1, so empty nodes are well-defined: a perfect
+// estimate is 1, a 100-pairs-estimated-but-10-materialised node is 10.
+func QError(est, act int64) float64 {
+	e, a := float64(max64(est, 1)), float64(max64(act, 1))
+	if e > a {
+		return e / a
+	}
+	return a / e
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ActiveQuery is one in-flight query as reported by Flight.Active (the
+// GET /v1/queries wire shape).
+type ActiveQuery struct {
+	ID          string   `json:"id"`
+	Session     string   `json:"session,omitempty"`
+	Statement   string   `json:"statement"`
+	StartUnixMS int64    `json:"start_unix_ms"`
+	ElapsedMS   float64  `json:"elapsed_ms"`
+	Strategies  []string `json:"strategies,omitempty"` // pairing strategies chosen so far
+}
+
+// activeEntry is the registry's record of a running query.
+type activeEntry struct {
+	id, session, statement string
+	start                  time.Time
+	seq                    int64 // registration order, for deterministic listing
+	cancel                 context.CancelFunc
+	progress               func() []string // strategies chosen so far; nil = unknown
+}
+
+// Flight is the query flight recorder: a registry of in-flight queries
+// (cancellable by id), a fixed-capacity ring of finished-query records,
+// and the telemetry sinks those records feed. All methods are safe for
+// concurrent use and no-ops on the nil receiver.
+//
+// The configuration fields must be set before the first query starts and
+// not mutated after.
+type Flight struct {
+	// Metrics, when non-nil, receives per-finished-query families:
+	// cdb_query_duration_seconds (by outcome), cdb_query_rows, and
+	// cdb_planner_qerror (one observation per binary plan node).
+	Metrics *Registry
+
+	// Log, when non-nil, receives every finished query as one NDJSON
+	// line (the -query-log flag). Writes are serialised by the
+	// recorder's mutex.
+	Log io.Writer
+
+	// Logger, when non-nil, receives planner-misestimate warnings: one
+	// per binary node whose q-error reaches QErrorThreshold.
+	Logger *slog.Logger
+
+	// QErrorThreshold overrides DefaultQErrorThreshold when positive.
+	QErrorThreshold float64
+
+	// Clock overrides time.Now for deterministic tests.
+	Clock func() time.Time
+
+	capacity int
+
+	mu     sync.Mutex
+	active map[string]*activeEntry
+	seq    int64
+	ring   []FlightRecord // fixed-size once full; next points at the eldest
+	next   int
+}
+
+// NewFlight returns a recorder whose history ring holds capacity
+// finished queries (<= 0 means DefaultFlightCapacity).
+func NewFlight(capacity int) *Flight {
+	if capacity <= 0 {
+		capacity = DefaultFlightCapacity
+	}
+	return &Flight{capacity: capacity, active: map[string]*activeEntry{}}
+}
+
+func (f *Flight) now() time.Time {
+	if f.Clock != nil {
+		return f.Clock()
+	}
+	return time.Now()
+}
+
+func (f *Flight) threshold() float64 {
+	if f.QErrorThreshold > 0 {
+		return f.QErrorThreshold
+	}
+	return DefaultQErrorThreshold
+}
+
+// Start registers an in-flight query. cancel, when non-nil, is what
+// Cancel(id) invokes — the same context cancellation path a deadline
+// uses. progress, when non-nil, is polled by Active for the pairing
+// strategies chosen so far; it must be safe to call concurrently with
+// the running query.
+func (f *Flight) Start(id, session, statement string, cancel context.CancelFunc, progress func() []string) {
+	if f == nil || id == "" {
+		return
+	}
+	f.mu.Lock()
+	f.seq++
+	f.active[id] = &activeEntry{
+		id: id, session: session, statement: statement,
+		start: f.now(), seq: f.seq, cancel: cancel, progress: progress,
+	}
+	f.mu.Unlock()
+}
+
+// Cancel cancels the in-flight query by id, reporting whether it was
+// found. The query itself observes the cancellation at its next
+// claim-time checkpoint (exec.Map) and finishes with OutcomeCanceled;
+// the entry leaves the registry when its Finish record arrives, not
+// here, so a cancelled query is still listed until it actually stops.
+func (f *Flight) Cancel(id string) bool {
+	if f == nil {
+		return false
+	}
+	f.mu.Lock()
+	e, ok := f.active[id]
+	f.mu.Unlock()
+	if !ok {
+		return false
+	}
+	if e.cancel != nil {
+		e.cancel()
+	}
+	return true
+}
+
+// Active snapshots the in-flight queries in start order.
+func (f *Flight) Active() []ActiveQuery {
+	if f == nil {
+		return nil
+	}
+	now := f.now()
+	f.mu.Lock()
+	entries := make([]*activeEntry, 0, len(f.active))
+	for _, e := range f.active {
+		entries = append(entries, e)
+	}
+	f.mu.Unlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].seq < entries[j].seq })
+	out := make([]ActiveQuery, len(entries))
+	for i, e := range entries {
+		out[i] = ActiveQuery{
+			ID: e.id, Session: e.session, Statement: e.statement,
+			StartUnixMS: e.start.UnixMilli(),
+			ElapsedMS:   float64(now.Sub(e.start).Microseconds()) / 1000,
+		}
+		if e.progress != nil {
+			out[i].Strategies = e.progress()
+		}
+	}
+	return out
+}
+
+// Finish deregisters the query and records its terminal state: derived
+// planner-accuracy fields are computed from rec.Ops, the record enters
+// the history ring (evicting the eldest at capacity), the metric
+// families and the NDJSON log are fed, and misestimated nodes beyond
+// the q-error threshold are logged. Safe to call for ids that never
+// Started (CLI one-shots have no registry).
+func (f *Flight) Finish(rec FlightRecord) {
+	if f == nil {
+		return
+	}
+	f.derive(&rec)
+	f.observe(rec)
+
+	f.mu.Lock()
+	delete(f.active, rec.ID)
+	if len(f.ring) < f.capacity {
+		f.ring = append(f.ring, rec)
+	} else {
+		f.ring[f.next] = rec
+		f.next = (f.next + 1) % f.capacity
+	}
+	var logErr error
+	if f.Log != nil {
+		b, err := json.Marshal(rec)
+		if err == nil {
+			_, err = f.Log.Write(append(b, '\n'))
+		}
+		logErr = err
+	}
+	f.mu.Unlock()
+
+	if logErr != nil && f.Logger != nil {
+		f.Logger.Warn("query log write failed", "query", rec.ID, "err", logErr)
+	}
+}
+
+// derive fills the record's planner-accuracy summary from its per-node
+// rollups: distinct strategies in first-use order, est/act pair totals,
+// and the worst per-node q-error.
+func (f *Flight) derive(rec *FlightRecord) {
+	rec.Strategies = nil
+	rec.EstPairs, rec.ActPairs, rec.QError = 0, 0, 0
+	seen := map[string]bool{}
+	for _, op := range rec.Ops {
+		if op.Strategy == "" {
+			continue // unary node: no pairing, no estimate
+		}
+		if !seen[op.Strategy] {
+			seen[op.Strategy] = true
+			rec.Strategies = append(rec.Strategies, op.Strategy)
+		}
+		rec.EstPairs += op.EstPairs
+		rec.ActPairs += op.ActPairs
+		if q := QError(op.EstPairs, op.ActPairs); q > rec.QError {
+			rec.QError = q
+		}
+	}
+}
+
+// observe feeds the telemetry sinks for one finished query.
+func (f *Flight) observe(rec FlightRecord) {
+	if f.Metrics != nil {
+		f.Metrics.HistogramVec("cdb_query_duration_seconds",
+			"Query wall time in seconds, by outcome.", "outcome", nil).
+			With(rec.Outcome).Observe(rec.WallMS / 1000)
+		f.Metrics.NewHistogram("cdb_query_rows",
+			"Result rows per finished query.", RowBuckets).
+			Observe(float64(rec.Rows))
+	}
+	threshold := f.threshold()
+	for _, op := range rec.Ops {
+		if op.Strategy == "" {
+			continue
+		}
+		q := QError(op.EstPairs, op.ActPairs)
+		if f.Metrics != nil {
+			f.Metrics.NewHistogram("cdb_planner_qerror",
+				"Planner cardinality q-error max(est/act, act/est) per binary plan node.",
+				QErrorBuckets).Observe(q)
+		}
+		if q >= threshold && f.Logger != nil {
+			f.Logger.Warn("planner misestimate",
+				"query", rec.ID, "node", op.Op, "strategy", op.Strategy,
+				"est_pairs", op.EstPairs, "act_pairs", op.ActPairs,
+				"q_error", q)
+		}
+	}
+}
+
+// RowBuckets are the cdb_query_rows histogram bounds (result
+// cardinalities, decade steps).
+var RowBuckets = []float64{0, 1, 10, 100, 1000, 10000, 100000}
+
+// QErrorBuckets are the cdb_planner_qerror histogram bounds: powers of
+// two from "perfect" to "three orders of magnitude off".
+var QErrorBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 1024}
+
+// Recent returns up to limit finished queries whose wall time is at
+// least minWall, newest first. limit <= 0 means all retained records.
+func (f *Flight) Recent(minWall time.Duration, limit int) []FlightRecord {
+	if f == nil {
+		return nil
+	}
+	minMS := float64(minWall.Microseconds()) / 1000
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := len(f.ring)
+	out := make([]FlightRecord, 0, n)
+	for i := 0; i < n; i++ {
+		// Newest first: walk backwards from the slot before next. While
+		// the ring is filling next is 0, so the walk starts at ring[n-1];
+		// once full, next points at the eldest and next-1 is the newest.
+		rec := f.ring[(f.next-1-i+2*n)%n]
+		if rec.WallMS < minMS {
+			continue
+		}
+		out = append(out, rec)
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+	}
+	return out
+}
+
+// Len returns the number of retained finished-query records.
+func (f *Flight) Len() int {
+	if f == nil {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.ring)
+}

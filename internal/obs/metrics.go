@@ -195,6 +195,21 @@ func (v CounterVec) With(labelValue string) *Counter {
 	return v.f.get(labelValue, func() any { return &Counter{} }).(*Counter)
 }
 
+// GaugeVec is a family of gauges split by one label.
+type GaugeVec struct{ f *family }
+
+// GaugeVec registers (or fetches) a gauge family with one label key.
+// The canonical use is an info-style metric (cdb_build_info) whose
+// label carries the fact and whose value is always 1.
+func (r *Registry) GaugeVec(name, help, label string) GaugeVec {
+	return GaugeVec{r.family(name, help, typeGauge, label, nil)}
+}
+
+// With returns the gauge for the given label value.
+func (v GaugeVec) With(labelValue string) *Gauge {
+	return v.f.get(labelValue, func() any { return &Gauge{} }).(*Gauge)
+}
+
 // HistogramVec is a family of histograms split by one label.
 type HistogramVec struct{ f *family }
 

@@ -47,6 +47,15 @@ type Tracer struct {
 	// Clock overrides time.Now for deterministic tests. Nil = time.Now.
 	Clock func() time.Time
 
+	// QueryID, when set, is the flight-recorder identity of the query
+	// this tracer is collecting: every root span is stamped with a
+	// "query_id" label (visible in EXPLAIN ANALYZE and trace JSON) and
+	// every slow-span log record carries it, so a slow span in the logs
+	// joins against the query history ring. Set it before the query
+	// starts; the per-query tracer owners (the server and the CLIs)
+	// reassign it between queries.
+	QueryID string
+
 	mu    sync.Mutex
 	roots []*Span
 }
@@ -67,6 +76,9 @@ func (t *Tracer) StartSpan(name, detail string) *Span {
 		return nil
 	}
 	s := &Span{tracer: t, Name: name, Detail: detail, start: t.now()}
+	if t.QueryID != "" {
+		s.SetLabel("query_id", t.QueryID)
+	}
 	t.mu.Lock()
 	t.roots = append(t.roots, s)
 	t.mu.Unlock()
@@ -265,6 +277,9 @@ func (s *Span) End() {
 	}
 	if t.SlowThreshold > 0 && wall >= t.SlowThreshold && t.Logger != nil {
 		args := []any{"span", s.Name, "wall", wall}
+		if t.QueryID != "" {
+			args = append(args, "query", t.QueryID)
+		}
 		if s.Detail != "" {
 			args = append(args, "detail", s.Detail)
 		}

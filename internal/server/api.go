@@ -60,6 +60,7 @@ type queryRequest struct {
 // queryResponse is the POST /v1/query body on success (non-streaming).
 type queryResponse struct {
 	Session   string          `json:"session"`
+	QueryID   string          `json:"query_id"`
 	Target    string          `json:"target"`
 	Schema    string          `json:"schema"`
 	Tuples    []string        `json:"tuples"`
@@ -116,6 +117,16 @@ type queryResult struct {
 	trace   json.RawMessage
 }
 
+// flightExtras is what the flight recorder needs from an execution that
+// the response does not: the per-plan-node rollups (planner-accuracy
+// evidence) and this query's own sat-cache hit rate. Filled even when
+// the query fails, so error and timeout records keep their partial
+// operator evidence.
+type flightExtras struct {
+	ops          []obs.OpRoll
+	cacheHitRate float64
+}
+
 // apiError pairs an HTTP status with a client-facing message.
 type apiError struct {
 	status int
@@ -165,46 +176,81 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
-	if s.hookQueryStart != nil {
-		s.hookQueryStart()
+
+	// Flight-recorder identity: every admitted query gets an id, stamped
+	// into the response envelope, the logs, the root span, and the
+	// in-flight registry.
+	qid := obs.NewQueryID()
+	stmt := firstLine(req.Query)
+	if req.Query == "" {
+		stmt = firstLine(req.Rules)
 	}
 
-	// Per-request deadline: the server bound, shortened by timeout_ms.
-	ctx := r.Context()
+	// Cancellation parent: DELETE /v1/queries/{qid} fires this cancel;
+	// the per-request deadline layers on top of it, so both paths stop
+	// the query at the same exec.Map claim-time checkpoints.
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
 	timeout := s.cfg.queryTimeout()
 	if ms := time.Duration(req.TimeoutMS) * time.Millisecond; ms > 0 && (timeout == 0 || ms < timeout) {
 		timeout = ms
 	}
+	runCtx := ctx
 	if timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, timeout)
-		defer cancel()
+		var tcancel context.CancelFunc
+		runCtx, tcancel = context.WithTimeout(ctx, timeout)
+		defer tcancel()
+	}
+
+	s.flight.Start(qid, sess.id, stmt, cancel, func() []string {
+		return strategiesSoFar(sess.ec)
+	})
+	if s.hookQueryStart != nil {
+		s.hookQueryStart()
 	}
 
 	t0 := time.Now()
 	s.mQueries.Inc()
-	res, err := s.runOnSession(ctx, sess, req)
+	var extras flightExtras
+	res, err := s.runOnSession(runCtx, sess, req, qid, &extras)
 	elapsed := time.Since(t0)
+
+	rec := obs.FlightRecord{
+		ID: qid, Session: sess.id, Statement: stmt,
+		StartUnixMS:  t0.UnixMilli(),
+		WallMS:       float64(elapsed.Microseconds()) / 1000,
+		Outcome:      obs.OutcomeOf(err),
+		CacheHitRate: extras.cacheHitRate,
+		Ops:          extras.ops,
+	}
 	if err != nil {
 		s.mErrors.Inc()
 		status := errorStatus(err)
-		if errors.Is(err, context.DeadlineExceeded) {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
 			s.mTimeouts.Inc()
 			status = http.StatusGatewayTimeout
 			err = fmt.Errorf("query exceeded its deadline after %s: %w", elapsed.Round(time.Millisecond), err)
+		case errors.Is(err, context.Canceled):
+			status = statusClientClosedRequest
+			err = fmt.Errorf("query canceled after %s: %w", elapsed.Round(time.Millisecond), err)
 		}
-		s.log.Warn("query failed", "session", sess.id, "status", status,
+		rec.Error = err.Error()
+		s.flight.Finish(rec)
+		s.log.Warn("query failed", "query", qid, "session", sess.id, "status", status,
 			"elapsed", elapsed, "err", err)
-		writeError(w, status, err.Error())
+		s.writeQueryError(w, status, err.Error(), qid)
 		return
 	}
-	s.log.Info("query ok", "session", sess.id, "target", res.target,
+	rec.Rows = res.rel.Len()
+	s.flight.Finish(rec)
+	s.log.Info("query ok", "query", qid, "session", sess.id, "target", res.target,
 		"tuples", res.rel.Len(), "elapsed", elapsed)
 	if req.Stream {
-		s.writeStream(w, sess.id, req, res, elapsed)
+		s.writeStream(w, sess.id, qid, req, res, elapsed)
 		return
 	}
-	writeJSON(w, http.StatusOK, s.buildResponse(sess.id, req, res, elapsed))
+	writeJSON(w, http.StatusOK, s.buildResponse(sess.id, qid, req, res, elapsed))
 }
 
 func admissionMessage(status int) string {
@@ -218,7 +264,7 @@ func admissionMessage(status int) string {
 // on a session are serialised (sess.mu), which is what makes the
 // per-query swap of the execution context's Ctx and Tracer fields safe;
 // concurrency happens across sessions.
-func (s *Server) runOnSession(ctx context.Context, sess *session, req queryRequest) (*queryResult, error) {
+func (s *Server) runOnSession(ctx context.Context, sess *session, req queryRequest, qid string, extras *flightExtras) (*queryResult, error) {
 	sess.mu.Lock()
 	defer sess.mu.Unlock()
 	sess.running.Store(1)
@@ -233,9 +279,29 @@ func (s *Server) runOnSession(ctx context.Context, sess *session, req queryReque
 	ec.Reset()
 	ec.Ctx = ctx
 	defer func() { ec.Ctx = nil }()
+
+	// Flight evidence, captured even when the query errors out: the
+	// per-plan-node rollups (per-invocation stats, so every binary node
+	// keeps its own est/act pair counts for q-error), and the sat-cache
+	// hit rate over this query's decisions alone (the session cache
+	// accumulates across queries, so take a delta).
+	st0 := sess.cacheStats()
+	defer func() {
+		extras.ops = exec.FlightRollup(ec.Stats())
+		extras.cacheHitRate = -1
+		if ec.SatCache != nil {
+			extras.cacheHitRate = 0
+			st1 := sess.cacheStats()
+			if dh, dm := st1.Hits-st0.Hits, st1.Misses-st0.Misses; dh+dm > 0 {
+				extras.cacheHitRate = float64(dh) / float64(dh+dm)
+			}
+		}
+	}()
+
 	var tracer *obs.Tracer
 	if req.Explain || req.Trace {
 		tracer = obs.NewTracer()
+		tracer.QueryID = qid
 		ec.Tracer = tracer
 		defer func() { ec.Tracer = nil }()
 	}
@@ -354,10 +420,11 @@ func firstLine(src string) string {
 // buildResponse renders a result as the JSON response body. Tuple
 // strings are relation.Sorted() order — the exact lines the REPL
 // prints.
-func (s *Server) buildResponse(sessionID string, req queryRequest, res *queryResult, elapsed time.Duration) queryResponse {
+func (s *Server) buildResponse(sessionID, qid string, req queryRequest, res *queryResult, elapsed time.Duration) queryResponse {
 	tuples := res.rel.Sorted()
 	resp := queryResponse{
 		Session:   sessionID,
+		QueryID:   qid,
 		Target:    res.target,
 		Schema:    res.rel.Schema().String(),
 		Count:     len(tuples),
@@ -382,7 +449,7 @@ func (s *Server) buildResponse(sessionID string, req queryRequest, res *queryRes
 // {"tuple": ...} object per result tuple, one trailer object. The
 // stream flushes per line so a consumer sees tuples as they are
 // written.
-func (s *Server) writeStream(w http.ResponseWriter, sessionID string, req queryRequest, res *queryResult, elapsed time.Duration) {
+func (s *Server) writeStream(w http.ResponseWriter, sessionID, qid string, req queryRequest, res *queryResult, elapsed time.Duration) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
@@ -394,10 +461,11 @@ func (s *Server) writeStream(w http.ResponseWriter, sessionID string, req queryR
 	enc := json.NewEncoder(w)
 	tuples := res.rel.Sorted()
 	header := map[string]any{
-		"session": sessionID,
-		"target":  res.target,
-		"schema":  res.rel.Schema().String(),
-		"count":   len(tuples),
+		"session":  sessionID,
+		"query_id": qid,
+		"target":   res.target,
+		"schema":   res.rel.Schema().String(),
+		"count":    len(tuples),
 	}
 	_ = enc.Encode(header)
 	flush()

@@ -6,8 +6,9 @@ package server
 //
 //	go test ./internal/server -run TestGoldenQueryResponse -update
 //
-// Volatile values (the session id, elapsed wall time) are normalised
-// before comparison so the file is stable across runs.
+// Volatile values (the session id, the query id, elapsed wall time,
+// start timestamps) are normalised before comparison so the file is
+// stable across runs.
 
 import (
 	"flag"
@@ -22,14 +23,18 @@ var update = flag.Bool("update", false, "rewrite golden files")
 
 var (
 	sessionIDRe = regexp.MustCompile(`"s[0-9]+-[0-9a-f]{8}"`)
+	queryIDRe   = regexp.MustCompile(`"q[0-9]+(-[0-9a-f]{8})?"`)
 	elapsedRe   = regexp.MustCompile(`"elapsed_ms": [0-9.]+`)
 	wallRe      = regexp.MustCompile(`"wall_ms": [0-9.]+`)
+	startRe     = regexp.MustCompile(`"start_unix_ms": [0-9]+`)
 )
 
 func normalize(body []byte) string {
 	out := sessionIDRe.ReplaceAll(body, []byte(`"SESSION"`))
+	out = queryIDRe.ReplaceAll(out, []byte(`"QUERY"`))
 	out = elapsedRe.ReplaceAll(out, []byte(`"elapsed_ms": 0`))
 	out = wallRe.ReplaceAll(out, []byte(`"wall_ms": 0`))
+	out = startRe.ReplaceAll(out, []byte(`"start_unix_ms": 0`))
 	return string(out)
 }
 
@@ -57,5 +62,38 @@ func TestGoldenQueryResponse(t *testing.T) {
 	}
 	if got != string(want) {
 		t.Errorf("response shape differs from %s (re-run with -update if intended):\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestGoldenQueriesRecent pins the flight-record wire shape of
+// GET /v1/queries/recent the same way: a deterministic program on a
+// fresh par-1 session, volatile identities and wall times normalised.
+func TestGoldenQueriesRecent(t *testing.T) {
+	_, ts := newTestServer(t, Config{}, nil)
+	id := openSession(t, ts, `{"par": 1}`)
+	status, _, body := runQueryReq(t, ts, fmt.Sprintf(
+		`{"session": %q, "query": "R0 = join Landownership and Land\nR1 = select t >= 4, t <= 9 from R0\nR2 = project R1 on name"}`, id))
+	if status != 200 {
+		t.Fatalf("query: %d %s", status, body)
+	}
+	status, recent := getJSON(t, ts.URL+"/v1/queries/recent")
+	if status != 200 {
+		t.Fatalf("queries/recent: %d %s", status, recent)
+	}
+	got := normalize(recent)
+
+	path := filepath.Join("testdata", "queries_recent.golden.json")
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("flight-record shape differs from %s (re-run with -update if intended):\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
 	}
 }

@@ -36,6 +36,7 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -79,6 +80,19 @@ type Config struct {
 	// that do not set sat_cache. Zero means
 	// constraint.DefaultSatCacheSize; negative disables the cache.
 	DefaultSatCache int
+
+	// QueryHistory is the flight recorder's history-ring capacity in
+	// finished queries (the -query-history flag). Zero means
+	// obs.DefaultFlightCapacity.
+	QueryHistory int
+
+	// QueryLog, when non-nil, receives every finished query as one
+	// NDJSON flight record (the -query-log flag).
+	QueryLog io.Writer
+
+	// QErrorThreshold overrides the planner-misestimate warning
+	// threshold (obs.DefaultQErrorThreshold when zero).
+	QErrorThreshold float64
 
 	// Logger receives request and lifecycle logs. Nil discards them.
 	Logger *slog.Logger
@@ -161,8 +175,9 @@ type Server struct {
 	dbs     map[string]*db.Database // read-only after New
 	dbOrder []string
 
-	mux *http.ServeMux
-	reg *obs.Registry
+	mux    *http.ServeMux
+	reg    *obs.Registry
+	flight *obs.Flight // query identity, in-flight registry, history ring
 
 	// Admission control state. inflightN counts executing queries;
 	// draining flips once and is never unset.
@@ -226,6 +241,11 @@ func New(dbs map[string]*db.Database, cfg Config) *Server {
 		done:     make(chan struct{}),
 		start:    time.Now(),
 	}
+	s.flight = obs.NewFlight(cfg.QueryHistory)
+	s.flight.Metrics = s.reg
+	s.flight.Log = cfg.QueryLog
+	s.flight.Logger = s.log
+	s.flight.QErrorThreshold = cfg.QErrorThreshold
 	s.installMetrics()
 	s.routes()
 	go s.reapLoop()
@@ -249,6 +269,10 @@ func (s *Server) routes() {
 	s.handle("GET /v1/sessions/{id}", s.handleSessionGet)
 	s.handle("DELETE /v1/sessions/{id}", s.handleSessionDelete)
 	s.handle("POST /v1/query", s.handleQuery)
+	s.handle("GET /v1/queries", s.handleQueriesActive)
+	s.handle("GET /v1/queries/recent", s.handleQueriesRecent)
+	s.handle("DELETE /v1/queries/{id}", s.handleQueryCancel)
+	s.handle("GET /debug/queries", s.handleQueriesDebug)
 	obs.Mount(s.mux, s.reg)
 }
 
@@ -299,6 +323,16 @@ func (s *Server) installMetrics() {
 			s.smu.Lock()
 			defer s.smu.Unlock()
 			return int64(len(s.sessions))
+		})
+	// Info-style build gauge: the fact lives in the label, the value is
+	// always 1 (the Prometheus *_info convention), so dashboards can
+	// join any series against the running toolchain version.
+	r.GaugeVec("cdb_build_info",
+		"Build/runtime info; the value is always 1.", "go_version").
+		With(runtime.Version()).Set(1)
+	r.NewGaugeFunc("cdb_process_start_time_seconds",
+		"Unix time the server process started.", func() int64 {
+			return s.start.Unix()
 		})
 	r.NewCounterFunc("cdb_fm_decisions_total",
 		"Raw Fourier-Motzkin satisfiability decisions (process-wide).",
@@ -491,8 +525,10 @@ func (s *Server) reapIdle(now time.Time, idle time.Duration) {
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":    statusFor(s.draining.Load()),
-		"uptime_ms": time.Since(s.start).Milliseconds(),
+		"status":        statusFor(s.draining.Load()),
+		"uptime_ms":     time.Since(s.start).Milliseconds(),
+		"start_unix_ms": s.start.UnixMilli(),
+		"go_version":    runtime.Version(),
 	})
 }
 

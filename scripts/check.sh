@@ -59,6 +59,12 @@ curl -s "$BASE/v1/query" -d '{
 }' | grep -q '"count": 4' || { echo 'case-study query wrong'; kill "$SRV_PID"; exit 1; }
 curl -s "$BASE/metrics" | grep -q '^cqacdbd_queries_total 1$' \
     || { echo '/metrics missing query counter'; kill "$SRV_PID"; exit 1; }
+# Flight recorder: the finished query must show up in the bounded
+# history with a terminal outcome, and the human view must render.
+curl -s "$BASE/v1/queries/recent" | grep -q '"outcome": "ok"' \
+    || { echo 'queries/recent missing the finished query'; kill "$SRV_PID"; exit 1; }
+curl -s "$BASE/debug/queries" | grep -q 'recent queries' \
+    || { echo '/debug/queries not rendering'; kill "$SRV_PID"; exit 1; }
 kill -TERM "$SRV_PID"
 wait "$SRV_PID" || { echo 'server exited non-zero'; exit 1; }
 grep -q 'cqacdbd: bye' /tmp/cdb_cqacdbd.out || { echo 'no graceful drain'; exit 1; }
@@ -71,6 +77,12 @@ echo '>> prune smoke'
 go run ./cmd/cdbbench -expt prune -cqasize 16 -rounds 1 \
     -json /tmp/cdb_prune_smoke.json >/dev/null
 scripts/benchdiff.sh /tmp/cdb_prune_smoke.json /tmp/cdb_prune_smoke.json >/dev/null
+# The committed measurement file must stay diffable against a fresh run
+# (guards the JSON shape `make bench-all` writes). The huge threshold
+# means only shape breakage fails, never machine-speed variance;
+# leaves that exist only at the committed -cqasize report MISSING and
+# pass by design.
+scripts/benchdiff.sh BENCH_prune.json /tmp/cdb_prune_smoke.json 1000000 >/dev/null
 
 # Plan smoke: the physical-planner experiment forces every pairing
 # strategy (dense, sweep, index) against the cost model's auto pick and
@@ -83,5 +95,6 @@ echo '>> plan smoke'
 go run ./cmd/cdbbench -expt plan -cqasize 16 -rounds 1 \
     -json /tmp/cdb_plan_smoke.json >/dev/null
 scripts/benchdiff.sh /tmp/cdb_plan_smoke.json /tmp/cdb_plan_smoke.json >/dev/null
+scripts/benchdiff.sh BENCH_plan.json /tmp/cdb_plan_smoke.json 1000000 >/dev/null
 go run ./cmd/cdbbench -expt diff -n 200 -seed 3 -par 2 >/dev/null
 echo 'OK'
