@@ -79,11 +79,13 @@ import (
 	"cdb/internal/constraint"
 	"cdb/internal/cqa"
 	"cdb/internal/datagen"
+	"cdb/internal/db"
 	"cdb/internal/exec"
 	"cdb/internal/experiments"
 	"cdb/internal/oracle"
 	"cdb/internal/rational"
 	"cdb/internal/relation"
+	"cdb/internal/snapshot"
 )
 
 func main() {
@@ -95,7 +97,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("cdbbench", flag.ContinueOnError)
-	expt := fs.String("expt", "all", "experiment: fig4 | fig5 | exp3 | corner | cqa | canon | prune | plan | diff | all")
+	expt := fs.String("expt", "all", "experiment: fig4 | fig5 | exp3 | corner | cqa | canon | prune | plan | diff | snapshot | all")
 	scale := fs.Int("scale", 1, "shrink factor for the workload (1 = paper scale)")
 	page := fs.Int("page", 4096, "page size in bytes (one R*-tree node per page)")
 	buckets := fs.Int("buckets", 8, "buckets per rendered series")
@@ -133,6 +135,9 @@ func run(args []string) error {
 	}
 	if *expt == "diff" {
 		return runDiff(*seed, *cases, *par, *jsonPath)
+	}
+	if *expt == "snapshot" {
+		return runSnapshot(p, *cqaSize*8, *rounds*30, *jsonPath)
 	}
 	fmt.Printf("workload: %d boxes, %d queries, coords [0,%g], sizes [%g,%g], seed %d, page %d bytes\n\n",
 		p.NumData, p.NumQueries, p.CoordMax, p.SizeMin, p.SizeMax, p.Seed, *page)
@@ -850,4 +855,149 @@ func maxInt64(a, b int64) int64 {
 		return a
 	}
 	return b
+}
+
+// snapshotResult is the measurement record of the snapshot experiment
+// (-json output; the _ms leaves are benchdiff-compatible).
+type snapshotResult struct {
+	Experiment      string  `json:"experiment"`
+	Tuples          int     `json:"tuples"`
+	Pages           int     `json:"pages"`
+	PageSize        int     `json:"page_size"`
+	CommitBaseMS    float64 `json:"commit_base_ms"`
+	CommitDerivedMS float64 `json:"commit_derived_ms"`
+	SharedPageRatio float64 `json:"shared_page_ratio"`
+	ForkMS          float64 `json:"fork_ms"`
+	FullCopyMS      float64 `json:"full_copy_ms"`
+	MaterializeMS   float64 `json:"materialize_ms"`
+	ForkSpeedup     float64 `json:"fork_speedup_vs_copy"`
+	WALBytes        int64   `json:"wal_bytes"`
+}
+
+// runSnapshot measures the copy-on-write snapshot store: commit latency
+// for a base state and a lightly-mutated derived state, the shared-page
+// ratio the derived commit achieves, fork latency (amortised over many
+// forks — a fork is a manifest copy, no page I/O), and the full-copy
+// baseline (db.Save + db.Load of the same state) a system without CoW
+// sharing would pay per branch.
+func runSnapshot(p datagen.Params, size, forks int, jsonPath string) error {
+	if forks <= 0 {
+		forks = 100
+	}
+	dir, err := os.MkdirTemp("", "cdbbench-snapshot-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	store, err := snapshot.Open(dir, snapshot.Options{})
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+
+	// Base state: two generated spatial relations. The derived state adds
+	// a third, so its commit shares every base page.
+	base := db.New()
+	if err := base.Put("Boxes", datagen.BoxRelation(p, size, 0)); err != nil {
+		return err
+	}
+	p2 := p
+	p2.Seed = p.Seed + 1000
+	if err := base.Put("Probes", datagen.BoxRelation(p2, size/2, 0)); err != nil {
+		return err
+	}
+	derived := db.New()
+	for _, name := range base.Names() {
+		r, _ := base.Get(name)
+		if err := derived.Put(name, r); err != nil {
+			return err
+		}
+	}
+	p3 := p
+	p3.Seed = p.Seed + 2000
+	if err := derived.Put("Delta", datagen.BoxRelation(p3, size/4, 0)); err != nil {
+		return err
+	}
+
+	t0 := time.Now()
+	baseSnap, err := store.Commit(base, "", "bench")
+	if err != nil {
+		return err
+	}
+	commitBase := time.Since(t0)
+
+	t0 = time.Now()
+	derivedSnap, err := store.Commit(derived, baseSnap.ID, "bench")
+	if err != nil {
+		return err
+	}
+	commitDerived := time.Since(t0)
+	sharedRatio := 0.0
+	if derivedSnap.Pages > 0 {
+		sharedRatio = float64(derivedSnap.SharedPages) / float64(derivedSnap.Pages)
+	}
+
+	t0 = time.Now()
+	for i := 0; i < forks; i++ {
+		if _, err := store.Fork(baseSnap.ID); err != nil {
+			return err
+		}
+	}
+	forkMS := float64(time.Since(t0).Microseconds()) / 1000 / float64(forks)
+
+	// Full-copy baseline: what a branch costs without page sharing.
+	t0 = time.Now()
+	var buf strings.Builder
+	if err := base.Save(&buf); err != nil {
+		return err
+	}
+	if _, err := db.Load(strings.NewReader(buf.String())); err != nil {
+		return err
+	}
+	fullCopy := time.Since(t0)
+
+	t0 = time.Now()
+	if _, err := store.Materialize(derivedSnap.ID); err != nil {
+		return err
+	}
+	materialize := time.Since(t0)
+
+	st := store.Stats()
+	res := snapshotResult{
+		Experiment:      "snapshot",
+		Tuples:          base.TupleCount(),
+		Pages:           baseSnap.Pages,
+		PageSize:        st.PageSize,
+		CommitBaseMS:    float64(commitBase.Microseconds()) / 1000,
+		CommitDerivedMS: float64(commitDerived.Microseconds()) / 1000,
+		SharedPageRatio: sharedRatio,
+		ForkMS:          forkMS,
+		FullCopyMS:      float64(fullCopy.Microseconds()) / 1000,
+		MaterializeMS:   float64(materialize.Microseconds()) / 1000,
+		WALBytes:        st.WALBytes,
+	}
+	if forkMS > 0 {
+		res.ForkSpeedup = res.FullCopyMS / forkMS
+	}
+
+	fmt.Printf("snapshot store: %d tuples, %d pages of %d bytes\n\n", res.Tuples, res.Pages, res.PageSize)
+	fmt.Printf("%-24s %10.3f ms\n", "commit (base)", res.CommitBaseMS)
+	fmt.Printf("%-24s %10.3f ms   shared ratio %.2f\n", "commit (derived)", res.CommitDerivedMS, res.SharedPageRatio)
+	fmt.Printf("%-24s %10.3f ms   (avg over %d forks)\n", "fork", res.ForkMS, forks)
+	fmt.Printf("%-24s %10.3f ms\n", "full copy (save+load)", res.FullCopyMS)
+	fmt.Printf("%-24s %10.3f ms\n", "materialize", res.MaterializeMS)
+	if res.ForkSpeedup > 0 {
+		fmt.Printf("\nfork is %.0fx cheaper than a full copy at this scale\n", res.ForkSpeedup)
+	}
+	if jsonPath != "" {
+		b, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(b, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Println("wrote", jsonPath)
+	}
+	return nil
 }

@@ -12,6 +12,13 @@
 //	cqacdb -explain -e '...'                # EXPLAIN ANALYZE-style plan tree
 //	cqacdb -metrics-addr :8080 -demo hurricane   # /metrics + pprof while the shell runs
 //
+// Snapshot store (package snapshot; shared with cqacdbd's -snapshot-dir):
+//
+//	cqacdb -snapshot-dir ./snaps -demo hurricane -snap-commit    # commit the db, print its id
+//	cqacdb -snapshot-dir ./snaps -snap-list                      # list snapshots
+//	cqacdb -snapshot-dir ./snaps -snap-fork snap1-xxxxxxxx       # O(1) copy-on-write branch
+//	cqacdb -snapshot-dir ./snaps -snap-restore snap2-xxxxxxxx    # shell over a snapshot
+//
 // Queries execute on the parallel CQA layer (package exec): -par sets the
 // worker-pool size (0 = GOMAXPROCS, 1 = sequential), -par-threshold the
 // input size below which operators stay sequential, and -stats prints a
@@ -86,6 +93,7 @@ import (
 	"cdb/internal/relation"
 	"cdb/internal/render"
 	"cdb/internal/schema"
+	"cdb/internal/snapshot"
 )
 
 func main() {
@@ -114,6 +122,11 @@ func run(args []string) error {
 	noPrune := fs.Bool("no-prune", false, "disable the binary operators' candidate filter (dense nested-loop pairing)")
 	plan := fs.String("plan", exec.PlanAuto, "pairing strategy: auto (cost-based planner), dense, sweep, or index")
 	queryLog := fs.String("query-log", "", "append every executed program as one NDJSON flight record to this file")
+	snapshotDir := fs.String("snapshot-dir", "", "copy-on-write snapshot store directory (enables -snap-* commands)")
+	snapList := fs.Bool("snap-list", false, "list the store's snapshots and exit")
+	snapCommit := fs.Bool("snap-commit", false, "commit the loaded database as a snapshot and exit")
+	snapFork := fs.String("snap-fork", "", "fork this snapshot id (O(1) copy-on-write branch) and exit")
+	snapRestore := fs.String("snap-restore", "", "load the database from this snapshot id instead of -db/-demo")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -169,10 +182,59 @@ func run(args []string) error {
 		fmt.Printf("observability: http://%s/metrics /debug/vars /debug/pprof/\n", srv.Addr())
 	}
 
+	// The snapshot store: -snap-list and -snap-fork are standalone
+	// commands; -snap-restore swaps the database source; -snap-commit
+	// runs after load, below.
+	var snaps *snapshot.Store
+	if *snapshotDir != "" {
+		var err error
+		snaps, err = snapshot.Open(*snapshotDir, snapshot.Options{EC: ec})
+		if err != nil {
+			return err
+		}
+		defer snaps.Close()
+	} else if *snapList || *snapCommit || *snapFork != "" || *snapRestore != "" {
+		return fmt.Errorf("-snap-list/-snap-commit/-snap-fork/-snap-restore need -snapshot-dir")
+	}
+	if *snapList {
+		st := snaps.Stats()
+		fmt.Printf("snapshot store %s: %d snapshots, %d live pages, %d free, page size %d\n",
+			*snapshotDir, st.Snapshots, st.PagesLive, st.PagesFree, st.PageSize)
+		for _, meta := range snaps.List() {
+			parent := meta.Parent
+			if parent == "" {
+				parent = "-"
+			}
+			fmt.Printf("  %-22s parent=%-22s db=%-12s tuples=%-5d pages=%-4d new=%-4d shared=%d\n",
+				meta.ID, parent, meta.DB, meta.Tuples, meta.Pages, meta.NewPages, meta.SharedPages)
+		}
+		return nil
+	}
+	if *snapFork != "" {
+		meta, err := snaps.Fork(*snapFork)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("forked %s -> %s (%d pages, all shared)\n", meta.Parent, meta.ID, meta.Pages)
+		return nil
+	}
+
 	var d *db.Database
+	dbLabel := ""
 	switch {
+	case *snapRestore != "":
+		var err error
+		d, err = snaps.MaterializeCtx(*snapRestore, ec)
+		if err != nil {
+			return err
+		}
+		meta, _ := snaps.Get(*snapRestore)
+		dbLabel = meta.DB
+		fmt.Printf("restored snapshot %s (db=%s): relations %s\n",
+			*snapRestore, meta.DB, strings.Join(d.Names(), ", "))
 	case *demo == "hurricane":
 		d = hurricane.Build()
+		dbLabel = "hurricane"
 		fmt.Println("loaded demo database: hurricane (§3.3 case study)")
 	case *demo != "":
 		return fmt.Errorf("unknown demo %q (try: hurricane)", *demo)
@@ -182,9 +244,21 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
+		dbLabel = *dbPath
 		fmt.Printf("loaded %s: relations %s\n", *dbPath, strings.Join(d.Names(), ", "))
 	default:
 		d = db.New()
+	}
+
+	if *snapCommit {
+		parent := *snapRestore // lineage when committing a restored branch
+		meta, err := snaps.CommitCtx(d, parent, dbLabel, ec)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("committed %s: %d tuples, %d pages (%d new, %d shared)\n",
+			meta.ID, meta.Tuples, meta.Pages, meta.NewPages, meta.SharedPages)
+		return nil
 	}
 
 	if *expr != "" {

@@ -21,6 +21,17 @@
 //	GET    /healthz            liveness (reports "draining" during shutdown)
 //	GET    /metrics            Prometheus text format; /debug/vars, /debug/pprof/...
 //
+// With -snapshot-dir the daemon gains durable, branchable state (the
+// copy-on-write snapshot store, package snapshot):
+//
+//	POST   /v1/dbs/{name}/snapshots    commit a registry database
+//	POST   /v1/sessions/{id}/snapshot  commit a session's state (base + results)
+//	GET    /v1/snapshots               list;  GET /v1/snapshots/{id} inspect
+//	POST   /v1/snapshots/{id}/fork     O(1) branch;  DELETE /v1/snapshots/{id} release
+//
+// and sessions may bind to a snapshot with {"snapshot": "<id>"}.
+// Snapshots survive restarts: the store WAL-replays on open.
+//
 // Load and lifetime knobs: -max-inflight caps concurrently executing
 // queries (beyond it the server sheds with 429 + Retry-After);
 // -query-timeout bounds each query (requests may shorten it with
@@ -58,6 +69,7 @@ import (
 	"cdb/internal/hurricane"
 	"cdb/internal/obs"
 	"cdb/internal/server"
+	"cdb/internal/snapshot"
 )
 
 func main() {
@@ -92,6 +104,10 @@ func run(args []string, out io.Writer) error {
 		"append every finished query as one NDJSON record to this file")
 	qerrorWarn := fs.Float64("qerror-warn", obs.DefaultQErrorThreshold,
 		"log a planner-misestimate warning when a plan node's q-error reaches this ratio")
+	snapshotDir := fs.String("snapshot-dir", "",
+		"enable the copy-on-write snapshot store rooted at this directory (/v1/snapshots API)")
+	snapshotFault := fs.String("snapshot-fault", "",
+		"crash-test hook: inject a fault at the Nth snapshot storage op (wal:N or page:N; the op hangs so the process can be killed mid-commit)")
 
 	dbs := map[string]*db.Database{}
 	fs.Func("db", "serve a database file as name=path (repeatable)", func(v string) error {
@@ -136,6 +152,27 @@ func run(args []string, out io.Writer) error {
 		defer f.Close()
 		queryLogW = f
 	}
+	var snaps *snapshot.Store
+	if *snapshotDir != "" {
+		fault, err := parseFault(*snapshotFault)
+		if err != nil {
+			return err
+		}
+		snaps, err = snapshot.Open(*snapshotDir, snapshot.Options{Fault: fault})
+		if err != nil {
+			return err
+		}
+		defer snaps.Close()
+		st := snaps.Stats()
+		fmt.Fprintf(out, "snapshot store %s: %d snapshots, %d live pages, %d free\n",
+			*snapshotDir, st.Snapshots, st.PagesLive, st.PagesFree)
+		for _, meta := range snaps.List() {
+			fmt.Fprintf(out, "  %s db=%s tuples=%d pages=%d\n", meta.ID, meta.DB, meta.Tuples, meta.Pages)
+		}
+	} else if *snapshotFault != "" {
+		return fmt.Errorf("-snapshot-fault needs -snapshot-dir")
+	}
+
 	srv := server.New(dbs, server.Config{
 		MaxInflight:        *maxInflight,
 		MaxSessions:        *maxSessions,
@@ -146,6 +183,7 @@ func run(args []string, out io.Writer) error {
 		QueryHistory:       *queryHistory,
 		QueryLog:           queryLogW,
 		QErrorThreshold:    *qerrorWarn,
+		Snapshots:          snaps,
 		Logger:             logger,
 	})
 
@@ -186,6 +224,34 @@ func run(args []string, out io.Writer) error {
 	}
 	fmt.Fprintln(out, "cqacdbd: bye")
 	return nil
+}
+
+// parseFault decodes the -snapshot-fault hook: "wal:N" arms the Nth WAL
+// record append, "page:N" the Nth page write. The injected op writes a
+// torn prefix and hangs, holding the daemon mid-commit so the crash
+// smoke can kill -9 it and assert the reopened store recovered.
+func parseFault(spec string) (*snapshot.Fault, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	kind, nstr, ok := strings.Cut(spec, ":")
+	if !ok {
+		return nil, fmt.Errorf("-snapshot-fault wants wal:N or page:N, got %q", spec)
+	}
+	var n int
+	if _, err := fmt.Sscanf(nstr, "%d", &n); err != nil || n <= 0 {
+		return nil, fmt.Errorf("-snapshot-fault wants a positive op number, got %q", spec)
+	}
+	f := &snapshot.Fault{Torn: true, Hang: true}
+	switch kind {
+	case "wal":
+		f.WALAppendN = n
+	case "page":
+		f.PageWriteN = n
+	default:
+		return nil, fmt.Errorf("-snapshot-fault wants wal:N or page:N, got %q", spec)
+	}
+	return f, nil
 }
 
 // cacheSize maps the CLI convention (0 = disabled) onto the Config one

@@ -159,18 +159,31 @@ func (d *Database) SaveCtx(w io.Writer, ec *exec.Context) error {
 	sp.Set("tuples", int64(d.TupleCount()))
 	bw := bufio.NewWriter(w)
 	for _, name := range d.order {
-		r := d.rels[name]
-		fmt.Fprintf(bw, "relation %s\n", name)
-		var parts []string
-		for _, a := range r.Schema().Attrs() {
-			parts = append(parts, fmt.Sprintf("%s %s %s", a.Name, a.Type, a.Kind))
+		if err := EncodeRelation(bw, name, d.rels[name]); err != nil {
+			return err
 		}
-		fmt.Fprintf(bw, "schema %s\n", strings.Join(parts, ", "))
-		for _, t := range r.Sorted() {
-			fmt.Fprintf(bw, "tuple %s\n", formatTuple(t))
-		}
-		fmt.Fprintf(bw, "end\n\n")
 	}
+	return bw.Flush()
+}
+
+// EncodeRelation writes one relation as a self-contained text-format
+// block ("relation ... end"). The encoding is deterministic — Sorted()
+// tuple order, sorted relational attributes — so equal relations always
+// produce identical bytes; the snapshot store's page-level deduplication
+// relies on that. Save is the concatenation of EncodeRelation over the
+// database's relations in insertion order.
+func EncodeRelation(w io.Writer, name string, r *relation.Relation) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "relation %s\n", name)
+	var parts []string
+	for _, a := range r.Schema().Attrs() {
+		parts = append(parts, fmt.Sprintf("%s %s %s", a.Name, a.Type, a.Kind))
+	}
+	fmt.Fprintf(bw, "schema %s\n", strings.Join(parts, ", "))
+	for _, t := range r.Sorted() {
+		fmt.Fprintf(bw, "tuple %s\n", formatTuple(t))
+	}
+	fmt.Fprintf(bw, "end\n\n")
 	return bw.Flush()
 }
 

@@ -48,6 +48,7 @@ import (
 	"cdb/internal/db"
 	"cdb/internal/exec"
 	"cdb/internal/obs"
+	"cdb/internal/snapshot"
 )
 
 // Config carries the server's tuning knobs. The zero value is usable:
@@ -93,6 +94,11 @@ type Config struct {
 	// QErrorThreshold overrides the planner-misestimate warning
 	// threshold (obs.DefaultQErrorThreshold when zero).
 	QErrorThreshold float64
+
+	// Snapshots, when non-nil, enables the /v1/snapshots API and
+	// snapshot-bound sessions (the -snapshot-dir flag). The server does
+	// not own the store: the embedding process opens and closes it.
+	Snapshots *snapshot.Store
 
 	// Logger receives request and lifecycle logs. Nil discards them.
 	Logger *slog.Logger
@@ -187,10 +193,15 @@ type Server struct {
 	drained   chan struct{} // closed when draining && inflightN == 0
 	drainOnce sync.Once
 
-	// Session registry.
+	// Session registry. snapDBs memoizes materialized snapshot databases
+	// so sessions bound to the same snapshot share one in-memory copy.
 	smu      sync.Mutex
 	sessions map[string]*session
+	snapDBs  map[string]*db.Database
 	seq      atomic.Int64
+
+	// snaps is the optional copy-on-write snapshot store (Config.Snapshots).
+	snaps *snapshot.Store
 
 	// Sat-cache counters of closed sessions, folded in at close time so
 	// the aggregate cache metrics stay monotone as sessions come and go.
@@ -238,6 +249,8 @@ func New(dbs map[string]*db.Database, cfg Config) *Server {
 		reg:      obs.NewRegistry(),
 		drained:  make(chan struct{}),
 		sessions: map[string]*session{},
+		snapDBs:  map[string]*db.Database{},
+		snaps:    cfg.Snapshots,
 		done:     make(chan struct{}),
 		start:    time.Now(),
 	}
@@ -247,6 +260,9 @@ func New(dbs map[string]*db.Database, cfg Config) *Server {
 	s.flight.Logger = s.log
 	s.flight.QErrorThreshold = cfg.QErrorThreshold
 	s.installMetrics()
+	if s.snaps != nil {
+		s.snaps.InstallMetrics(s.reg)
+	}
 	s.routes()
 	go s.reapLoop()
 	return s
@@ -273,6 +289,7 @@ func (s *Server) routes() {
 	s.handle("GET /v1/queries/recent", s.handleQueriesRecent)
 	s.handle("DELETE /v1/queries/{id}", s.handleQueryCancel)
 	s.handle("GET /debug/queries", s.handleQueriesDebug)
+	s.snapshotRoutes()
 	obs.Mount(s.mux, s.reg)
 }
 
@@ -569,6 +586,7 @@ func (s *Server) handleDBs(w http.ResponseWriter, r *http.Request) {
 type sessionInfo struct {
 	ID        string     `json:"id"`
 	DB        string     `json:"db"`
+	Snapshot  string     `json:"snapshot,omitempty"` // snapshot the session is bound to
 	Workers   int        `json:"workers"`
 	SatCache  int        `json:"sat_cache_entries"`
 	NoPrune   bool       `json:"no_prune,omitempty"`
@@ -596,6 +614,7 @@ func (s *Server) sessionInfo(sess *session) sessionInfo {
 	info := sessionInfo{
 		ID:        sess.id,
 		DB:        sess.dbName,
+		Snapshot:  sess.snapID,
 		Workers:   sess.ec.Workers(),
 		NoPrune:   sess.ec.NoPrune,
 		Plan:      sess.ec.PlanMode,
@@ -631,21 +650,54 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("invalid plan %q (want auto, dense, sweep or index)", *opts.Plan))
 		return
 	}
-	dbName := opts.DB
-	if dbName == "" {
-		if len(s.dbOrder) == 1 {
-			dbName = s.dbOrder[0]
-		} else {
-			writeError(w, http.StatusBadRequest,
-				fmt.Sprintf("db is required (registry holds %s)", quoteNames(s.dbOrder)))
+	var (
+		dbName string
+		base   *db.Database
+	)
+	switch {
+	case opts.Snapshot != "":
+		// Bind the session to a materialized snapshot instead of a
+		// registry database.
+		if opts.DB != "" {
+			writeError(w, http.StatusBadRequest, "db and snapshot are mutually exclusive")
 			return
 		}
-	}
-	base, ok := s.dbs[dbName]
-	if !ok {
-		writeError(w, http.StatusNotFound,
-			fmt.Sprintf("unknown database %q (registry holds %s)", dbName, quoteNames(s.dbOrder)))
-		return
+		if s.snaps == nil {
+			writeError(w, http.StatusNotImplemented,
+				"snapshot store not configured (start the server with -snapshot-dir)")
+			return
+		}
+		meta, ok := s.snaps.Get(opts.Snapshot)
+		if !ok {
+			writeError(w, http.StatusNotFound,
+				fmt.Sprintf("unknown snapshot %q (store holds %s)", opts.Snapshot, quoteNames(s.snapshotNames())))
+			return
+		}
+		var err error
+		base, err = s.snapshotDB(meta.ID)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		dbName = meta.DB
+	default:
+		dbName = opts.DB
+		if dbName == "" {
+			if len(s.dbOrder) == 1 {
+				dbName = s.dbOrder[0]
+			} else {
+				writeError(w, http.StatusBadRequest,
+					fmt.Sprintf("db is required (registry holds %s)", quoteNames(s.dbOrder)))
+				return
+			}
+		}
+		var ok bool
+		base, ok = s.dbs[dbName]
+		if !ok {
+			writeError(w, http.StatusNotFound,
+				fmt.Sprintf("unknown database %q (registry holds %s)", dbName, quoteNames(s.dbOrder)))
+			return
+		}
 	}
 	sess, err := s.addSession(dbName, base, opts)
 	if err != nil {
@@ -653,7 +705,8 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusTooManyRequests, err.Error())
 		return
 	}
-	s.log.Info("session opened", "session", sess.id, "db", dbName)
+	s.log.Info("session opened", "session", sess.id, "db", dbName,
+		"snapshot", opts.Snapshot)
 	writeJSON(w, http.StatusCreated, s.sessionInfo(sess))
 }
 

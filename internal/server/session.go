@@ -29,6 +29,7 @@ import (
 type session struct {
 	id     string
 	dbName string
+	snapID string // snapshot the session is bound to ("" for registry dbs)
 	base   *db.Database
 	ec     *exec.Context
 
@@ -46,10 +47,11 @@ type session struct {
 // Pointers distinguish "unset, use the server default" from an explicit
 // zero (e.g. sat_cache: 0 disables the cache outright).
 type sessionOptions struct {
-	DB             string `json:"db,omitempty"`
-	Par            *int   `json:"par,omitempty"`
-	SatCache       *int   `json:"sat_cache,omitempty"`
-	SeqThreshold   *int   `json:"seq_threshold,omitempty"`
+	DB             string  `json:"db,omitempty"`
+	Snapshot       string  `json:"snapshot,omitempty"` // bind to a snapshot instead of a db
+	Par            *int    `json:"par,omitempty"`
+	SatCache       *int    `json:"sat_cache,omitempty"`
+	SeqThreshold   *int    `json:"seq_threshold,omitempty"`
 	SweepThreshold *int    `json:"sweep_threshold,omitempty"`
 	NoPrune        *bool   `json:"no_prune,omitempty"`
 	Plan           *string `json:"plan,omitempty"` // pairing strategy: auto|dense|sweep|index
@@ -77,6 +79,7 @@ func newSession(id, dbName string, base *db.Database, opts sessionOptions, cfg C
 	s := &session{
 		id:      id,
 		dbName:  dbName,
+		snapID:  opts.Snapshot,
 		base:    base,
 		ec:      ec,
 		results: map[string]*relation.Relation{},

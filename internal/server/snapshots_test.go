@@ -1,0 +1,264 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"reflect"
+	"regexp"
+	"testing"
+
+	"cdb/internal/db"
+	"cdb/internal/hurricane"
+	"cdb/internal/snapshot"
+)
+
+func TestSnapshotEndpointsUnconfigured(t *testing.T) {
+	_, ts := newTestServer(t, Config{}, nil)
+	status, body, _ := postJSON(t, ts.URL+"/v1/dbs/hurricane/snapshots", "")
+	if status != http.StatusNotImplemented {
+		t.Fatalf("commit without store: %d %s", status, body)
+	}
+	if !bytes.Contains(body, []byte("-snapshot-dir")) {
+		t.Fatalf("501 does not say how to enable snapshots: %s", body)
+	}
+	status, body = getJSON(t, ts.URL+"/v1/snapshots")
+	if status != http.StatusNotImplemented {
+		t.Fatalf("list without store: %d %s", status, body)
+	}
+	// Binding a session to a snapshot must fail the same way.
+	status, body, _ = postJSON(t, ts.URL+"/v1/sessions", `{"snapshot": "snap1-00000000"}`)
+	if status != http.StatusNotImplemented {
+		t.Fatalf("snapshot session without store: %d %s", status, body)
+	}
+}
+
+func TestSnapshotLifecycleOverHTTP(t *testing.T) {
+	dir := t.TempDir()
+	st, err := snapshot.Open(dir, snapshot.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	_, ts := newTestServer(t, Config{Snapshots: st}, nil)
+
+	// Commit the registry database.
+	status, body, _ := postJSON(t, ts.URL+"/v1/dbs/hurricane/snapshots", "")
+	if status != http.StatusCreated {
+		t.Fatalf("commit: %d %s", status, body)
+	}
+	var base snapshot.Snapshot
+	if err := json.Unmarshal(body, &base); err != nil {
+		t.Fatal(err)
+	}
+	if base.ID == "" || base.Pages == 0 || base.DB != "hurricane" {
+		t.Fatalf("commit metadata: %+v", base)
+	}
+
+	// Unknown database 404s.
+	status, body, _ = postJSON(t, ts.URL+"/v1/dbs/nope/snapshots", "")
+	if status != http.StatusNotFound {
+		t.Fatalf("commit of unknown db: %d %s", status, body)
+	}
+
+	// Fork is O(1) sharing.
+	status, body, _ = postJSON(t, ts.URL+"/v1/snapshots/"+base.ID+"/fork", "")
+	if status != http.StatusCreated {
+		t.Fatalf("fork: %d %s", status, body)
+	}
+	var fork snapshot.Snapshot
+	if err := json.Unmarshal(body, &fork); err != nil {
+		t.Fatal(err)
+	}
+	if fork.Parent != base.ID || fork.NewPages != 0 || fork.SharedPages != base.Pages {
+		t.Fatalf("fork metadata: %+v", fork)
+	}
+
+	// List shows both in commit order; Get finds each.
+	status, body = getJSON(t, ts.URL+"/v1/snapshots")
+	if status != http.StatusOK {
+		t.Fatalf("list: %d %s", status, body)
+	}
+	var listing struct {
+		Snapshots []snapshot.Snapshot `json:"snapshots"`
+	}
+	if err := json.Unmarshal(body, &listing); err != nil {
+		t.Fatal(err)
+	}
+	if len(listing.Snapshots) != 2 || listing.Snapshots[0].ID != base.ID || listing.Snapshots[1].ID != fork.ID {
+		t.Fatalf("listing: %+v", listing)
+	}
+	status, body = getJSON(t, ts.URL+"/v1/snapshots/"+fork.ID)
+	if status != http.StatusOK {
+		t.Fatalf("get: %d %s", status, body)
+	}
+	status, body = getJSON(t, ts.URL+"/v1/snapshots/snap999-00000000")
+	if status != http.StatusNotFound {
+		t.Fatalf("get of unknown snapshot: %d %s", status, body)
+	}
+
+	// A session bound to the fork answers queries byte-identically to a
+	// session over a full Save/Load copy of the same state.
+	snapSess := openSession(t, ts, fmt.Sprintf(`{"snapshot": %q, "par": 1}`, fork.ID))
+	var buf bytes.Buffer
+	if err := hurricane.Build().Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full, err := db.Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, ts2 := newTestServer(t, Config{}, map[string]*db.Database{"full": full})
+	_ = s2
+	fullSess := openSession(t, ts2, `{"db": "full", "par": 1}`)
+
+	const program = `{"session": %q, "query": "R0 = join Landownership and Land\nR1 = select t >= 4, t <= 9 from R0\nR2 = project R1 on name"}`
+	status, snapResp, body := runQueryReq(t, ts, fmt.Sprintf(program, snapSess))
+	if status != http.StatusOK {
+		t.Fatalf("query on snapshot session: %d %s", status, body)
+	}
+	status, fullResp, body := runQueryReq(t, ts2, fmt.Sprintf(program, fullSess))
+	if status != http.StatusOK {
+		t.Fatalf("query on full-copy session: %d %s", status, body)
+	}
+	if snapResp.Schema != fullResp.Schema || !reflect.DeepEqual(snapResp.Tuples, fullResp.Tuples) {
+		t.Fatalf("fork-bound session diverged from full copy:\nfork: %s %v\nfull: %s %v",
+			snapResp.Schema, snapResp.Tuples, fullResp.Schema, fullResp.Tuples)
+	}
+
+	// Session info exposes the binding.
+	status, body = getJSON(t, ts.URL+"/v1/sessions/"+snapSess)
+	if status != http.StatusOK || !bytes.Contains(body, []byte(fork.ID)) {
+		t.Fatalf("session info lacks snapshot binding: %d %s", status, body)
+	}
+
+	// Committing the session state (base + R0..R2 results) snapshots the
+	// branch: the parent is the fork, and only changed pages are new.
+	status, body, _ = postJSON(t, ts.URL+"/v1/sessions/"+snapSess+"/snapshot", "")
+	if status != http.StatusCreated {
+		t.Fatalf("session snapshot: %d %s", status, body)
+	}
+	var branch snapshot.Snapshot
+	if err := json.Unmarshal(body, &branch); err != nil {
+		t.Fatal(err)
+	}
+	if branch.Parent != fork.ID {
+		t.Fatalf("session snapshot parent = %q, want %q", branch.Parent, fork.ID)
+	}
+	if branch.SharedPages == 0 {
+		t.Fatalf("session snapshot shared nothing: %+v", branch)
+	}
+	// The branch materializes with the session's result bindings.
+	got, err := st.Materialize(branch.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rel := range []string{"Land", "R0", "R1", "R2"} {
+		if _, ok := got.Get(rel); !ok {
+			t.Fatalf("branch snapshot is missing relation %s", rel)
+		}
+	}
+
+	// A session bound to the branch sees the persisted results.
+	branchSess := openSession(t, ts, fmt.Sprintf(`{"snapshot": %q, "par": 1}`, branch.ID))
+	status, resp, body := runQueryReq(t, ts, fmt.Sprintf(`{"session": %q, "query": "R3 = project R2 on name"}`, branchSess))
+	if status != http.StatusOK {
+		t.Fatalf("query over branch: %d %s", status, body)
+	}
+	if len(resp.Tuples) == 0 {
+		t.Fatalf("persisted result relation came back empty")
+	}
+
+	// Release the base; the fork keeps its pages.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/snapshots/"+base.ID, nil)
+	res, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusOK {
+		t.Fatalf("release: %d", res.StatusCode)
+	}
+	if _, err := st.Materialize(fork.ID); err != nil {
+		t.Fatalf("fork unreadable after parent release: %v", err)
+	}
+	// Releasing again 404s.
+	req, _ = http.NewRequest(http.MethodDelete, ts.URL+"/v1/snapshots/"+base.ID, nil)
+	res, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusNotFound {
+		t.Fatalf("double release: %d", res.StatusCode)
+	}
+
+	// db and snapshot are mutually exclusive.
+	status, body, _ = postJSON(t, ts.URL+"/v1/sessions",
+		fmt.Sprintf(`{"db": "hurricane", "snapshot": %q}`, fork.ID))
+	if status != http.StatusBadRequest {
+		t.Fatalf("db+snapshot session: %d %s", status, body)
+	}
+	// Unknown snapshot binding 404s.
+	status, body, _ = postJSON(t, ts.URL+"/v1/sessions", `{"snapshot": "snap999-00000000"}`)
+	if status != http.StatusNotFound {
+		t.Fatalf("unknown snapshot session: %d %s", status, body)
+	}
+}
+
+// snapshotIDRe normalises snapshot ids in golden files the way session
+// and query ids already are.
+var snapshotIDRe = regexp.MustCompile(`"snap[0-9]+-[0-9a-f]{8}"`)
+
+var createdRe = regexp.MustCompile(`"created_unix_ms": [0-9]+`)
+
+func normalizeSnapshot(body []byte) string {
+	out := snapshotIDRe.ReplaceAll(body, []byte(`"SNAPSHOT"`))
+	out = createdRe.ReplaceAll(out, []byte(`"created_unix_ms": 0`))
+	return normalize(out)
+}
+
+// TestGoldenSnapshotWireShape pins the JSON shape of the snapshot
+// endpoints: the commit response, the fork response, and the listing.
+// Regenerate with:
+//
+//	go test ./internal/server -run TestGoldenSnapshotWireShape -update
+func TestGoldenSnapshotWireShape(t *testing.T) {
+	dir := t.TempDir()
+	st, err := snapshot.Open(dir, snapshot.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	_, ts := newTestServer(t, Config{Snapshots: st}, nil)
+
+	_, commitBody, _ := postJSON(t, ts.URL+"/v1/dbs/hurricane/snapshots", "")
+	var base snapshot.Snapshot
+	if err := json.Unmarshal(commitBody, &base); err != nil {
+		t.Fatal(err)
+	}
+	_, forkBody, _ := postJSON(t, ts.URL+"/v1/snapshots/"+base.ID+"/fork", "")
+	_, listBody := getJSON(t, ts.URL+"/v1/snapshots")
+
+	got := "== POST /v1/dbs/{name}/snapshots ==\n" + normalizeSnapshot(commitBody) +
+		"== POST /v1/snapshots/{id}/fork ==\n" + normalizeSnapshot(forkBody) +
+		"== GET /v1/snapshots ==\n" + normalizeSnapshot(listBody)
+
+	path := filepath.Join("testdata", "snapshots.golden.json")
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("snapshot wire shape differs from %s (re-run with -update if intended):\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}

@@ -1,0 +1,151 @@
+package snapshot
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"cdb/internal/storage"
+)
+
+// Manifest describes one snapshot: a named, parent-linked list of page
+// references per relation. It carries no page *content* — pages live in
+// the store's page file and are shared by every manifest that references
+// them — so a manifest is small and a Fork is a manifest copy.
+//
+// Manifests travel through the WAL as JSON commit records, which is why
+// every field is validated on decode: a corrupt WAL byte must surface as
+// an error, never as a silently-wrong snapshot (see FuzzManifest).
+type Manifest struct {
+	// ID is the snapshot's identity ("snap<seq>-<8 hex>").
+	ID string `json:"id"`
+
+	// Parent is the snapshot this one was committed from or forked off
+	// (empty for a root commit). Purely informational lineage: page
+	// sharing is by content, not by parent links.
+	Parent string `json:"parent,omitempty"`
+
+	// DB is the database name label the snapshot was taken from.
+	DB string `json:"db,omitempty"`
+
+	// CreatedUnixMS is the commit wall-clock time.
+	CreatedUnixMS int64 `json:"created_unix_ms"`
+
+	// Tuples is the committed database's tuple count (informational).
+	Tuples int `json:"tuples,omitempty"`
+
+	// NewPages is how many pages this commit physically wrote (0 for a
+	// fork); the rest of its references were shared. Persisted so
+	// listings keep their share accounting across a restart.
+	NewPages int `json:"new_pages,omitempty"`
+
+	// Relations lists each relation's page run, in database insertion
+	// order. Materialize concatenates the page payloads in this order
+	// and parses the result with the db text-format loader.
+	Relations []RelationPages `json:"relations"`
+}
+
+// RelationPages is one relation's page run inside a manifest.
+type RelationPages struct {
+	Name  string    `json:"name"`
+	Pages []PageRef `json:"pages"`
+}
+
+// PageRef points at one content page. Page is the slot in the store's
+// page file; Hash is the FNV-1a 64 fingerprint of the payload, checked
+// on every Materialize so a corrupt or misdirected page read is an
+// error, not silent data.
+type PageRef struct {
+	Page uint32 `json:"page"`
+	Hash uint64 `json:"hash"`
+}
+
+// encodeManifest renders m as the WAL commit-record payload.
+func encodeManifest(m *Manifest) ([]byte, error) {
+	return json.Marshal(m)
+}
+
+// decodeManifest parses and validates a WAL commit-record payload.
+// Unknown fields, missing ids, zero page slots and absurd sizes are all
+// rejected: the WAL is the durability boundary, so anything that decodes
+// must be a manifest the store could actually have written.
+func decodeManifest(data []byte) (*Manifest, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var m Manifest
+	if err := dec.Decode(&m); err != nil {
+		return nil, fmt.Errorf("snapshot: bad manifest: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("snapshot: trailing bytes after manifest")
+	}
+	if err := m.validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// maxManifestRelations bounds a decoded manifest's shape so a corrupt
+// length field cannot balloon replay memory.
+const maxManifestRelations = 1 << 20
+
+func (m *Manifest) validate() error {
+	if m.ID == "" {
+		return fmt.Errorf("snapshot: manifest without an id")
+	}
+	if len(m.Relations) > maxManifestRelations {
+		return fmt.Errorf("snapshot: manifest %s: %d relations (limit %d)", m.ID, len(m.Relations), maxManifestRelations)
+	}
+	if m.Tuples < 0 || m.NewPages < 0 {
+		return fmt.Errorf("snapshot: manifest %s: negative counters", m.ID)
+	}
+	seen := make(map[string]bool, len(m.Relations))
+	for _, rel := range m.Relations {
+		if rel.Name == "" {
+			return fmt.Errorf("snapshot: manifest %s: relation without a name", m.ID)
+		}
+		if seen[rel.Name] {
+			return fmt.Errorf("snapshot: manifest %s: duplicate relation %q", m.ID, rel.Name)
+		}
+		seen[rel.Name] = true
+		for _, ref := range rel.Pages {
+			if ref.Page == 0 {
+				return fmt.Errorf("snapshot: manifest %s: relation %q references page 0", m.ID, rel.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// pageIDs returns every page slot the manifest references, with
+// multiplicity (a page can back several identical chunks).
+func (m *Manifest) pageIDs() []storage.PageID {
+	var out []storage.PageID
+	for _, rel := range m.Relations {
+		for _, ref := range rel.Pages {
+			out = append(out, storage.PageID(ref.Page))
+		}
+	}
+	return out
+}
+
+// numPages is the total page-reference count.
+func (m *Manifest) numPages() int {
+	n := 0
+	for _, rel := range m.Relations {
+		n += len(rel.Pages)
+	}
+	return n
+}
+
+// clone deep-copies the manifest for Fork: page refs and identity carry
+// over, Tuples carries over (a fork holds the same data), NewPages stays
+// zero (a fork writes nothing).
+func (m *Manifest) clone() *Manifest {
+	out := &Manifest{ID: m.ID, Parent: m.Parent, DB: m.DB, CreatedUnixMS: m.CreatedUnixMS, Tuples: m.Tuples}
+	out.Relations = make([]RelationPages, len(m.Relations))
+	for i, rel := range m.Relations {
+		out.Relations[i] = RelationPages{Name: rel.Name, Pages: append([]PageRef{}, rel.Pages...)}
+	}
+	return out
+}

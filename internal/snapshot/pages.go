@@ -1,0 +1,142 @@
+package snapshot
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+
+	"cdb/internal/db"
+	"cdb/internal/storage"
+)
+
+// Content pages. A snapshot's data is the db text format — the same
+// deterministic bytes db.Save writes, one block per relation — chunked
+// into fixed-size pages and addressed by content:
+//
+//	page  = [u32 payload length] [payload] [zero padding to page size]
+//	hash  = FNV-1a 64 over the payload bytes
+//
+// Chunking is line-aligned and greedy: tuple lines pack into a page
+// until the next one would overflow, then a fresh page starts; a line
+// longer than a page spills across full pages. Line alignment is what
+// makes copy-on-write sharing effective — appending a tuple to a
+// relation re-chunks only that relation's tail pages, so everything
+// before the edit (and every other relation) keeps its hashes and is
+// shared with the parent snapshot, not rewritten.
+//
+// The hash is the same FNV-1a 64 the canonical-constraint kernel uses
+// for tuple fingerprints. It is a dedup *hint*, not an identity: before
+// sharing a page the store byte-compares the stored payload, so a
+// colliding hash costs one extra page read and can never corrupt a
+// snapshot (the sat-cache makes the same promise about fingerprints).
+
+// pagePayloadCap returns the payload bytes one page can carry.
+func pagePayloadCap(pageSize int) int { return pageSize - 4 }
+
+// hashPayload is the content address of one page payload.
+func hashPayload(p []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(p)
+	return h.Sum64()
+}
+
+// chunkLines splits a relation's encoded block into page payloads.
+// Deterministic by construction: equal blocks always chunk identically.
+func chunkLines(block []byte, cap int) [][]byte {
+	var (
+		out []byte
+		all [][]byte
+	)
+	flush := func() {
+		if len(out) > 0 {
+			all = append(all, out)
+			out = nil
+		}
+	}
+	for len(block) > 0 {
+		i := bytes.IndexByte(block, '\n')
+		var line []byte
+		if i < 0 {
+			line, block = block, nil
+		} else {
+			line, block = block[:i+1], block[i+1:]
+		}
+		if len(out)+len(line) > cap {
+			flush()
+		}
+		// A line longer than a page spills across full pages; the
+		// remainder keeps accepting subsequent lines.
+		for len(line) > cap {
+			all = append(all, line[:cap])
+			line = line[cap:]
+		}
+		out = append(out, line...)
+	}
+	flush()
+	return all
+}
+
+// encodePage frames a payload as page bytes.
+func encodePage(payload []byte, pageSize int) ([]byte, error) {
+	if len(payload) > pagePayloadCap(pageSize) {
+		return nil, fmt.Errorf("snapshot: payload of %d bytes exceeds %d-byte page", len(payload), pageSize)
+	}
+	data := make([]byte, pageSize)
+	binary.LittleEndian.PutUint32(data[0:4], uint32(len(payload)))
+	copy(data[4:], payload)
+	return data, nil
+}
+
+// decodePage extracts the payload from page bytes.
+func decodePage(data []byte) ([]byte, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("snapshot: page of %d bytes has no length header", len(data))
+	}
+	n := binary.LittleEndian.Uint32(data[0:4])
+	if int(n) > len(data)-4 {
+		return nil, fmt.Errorf("snapshot: page payload length %d exceeds page size %d", n, len(data))
+	}
+	return data[4 : 4+n], nil
+}
+
+// serialize renders d into per-relation page payloads, in insertion
+// order.
+type relationChunks struct {
+	name   string
+	chunks [][]byte
+}
+
+func serialize(d *db.Database, pageSize int) ([]relationChunks, error) {
+	cap := pagePayloadCap(pageSize)
+	if cap <= 0 {
+		return nil, fmt.Errorf("snapshot: page size %d too small", pageSize)
+	}
+	var out []relationChunks
+	for _, name := range d.Names() {
+		r, _ := d.Get(name)
+		var buf bytes.Buffer
+		if err := db.EncodeRelation(&buf, name, r); err != nil {
+			return nil, err
+		}
+		out = append(out, relationChunks{name: name, chunks: chunkLines(buf.Bytes(), cap)})
+	}
+	return out, nil
+}
+
+// readPayload reads one referenced page and verifies its content hash.
+func readPayload(p storage.Pager, ref PageRef) ([]byte, error) {
+	pg, err := p.Read(storage.PageID(ref.Page))
+	if err != nil {
+		return nil, err
+	}
+	payload, err := decodePage(pg.Data)
+	if err != nil {
+		return nil, err
+	}
+	if h := hashPayload(payload); h != ref.Hash {
+		return nil, fmt.Errorf("snapshot: page %d content hash %016x does not match manifest %016x (corrupt store?)",
+			ref.Page, h, ref.Hash)
+	}
+	return payload, nil
+}

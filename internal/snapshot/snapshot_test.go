@@ -1,0 +1,334 @@
+package snapshot
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cdb/internal/db"
+)
+
+// testPageSize keeps test databases multi-page without being huge.
+const testPageSize = 256
+
+// buildDB loads a deterministic text database: relations maps name to
+// tuple count; extra lines (full "tuple ..." lines) are appended to the
+// named relation.
+func buildDB(t *testing.T, rels map[string]int, extraRel string, extra ...string) *db.Database {
+	t.Helper()
+	names := make([]string, 0, len(rels))
+	for name := range rels {
+		names = append(names, name)
+	}
+	// Deterministic relation order regardless of map iteration.
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			if names[j] < names[i] {
+				names[i], names[j] = names[j], names[i]
+			}
+		}
+	}
+	var b strings.Builder
+	for _, name := range names {
+		fmt.Fprintf(&b, "relation %s\n", name)
+		b.WriteString("schema id string relational, x rational constraint, y rational constraint\n")
+		for i := 0; i < rels[name]; i++ {
+			fmt.Fprintf(&b, "tuple id=%q | x >= %d, x <= %d, y >= 0, y <= 5\n", fmt.Sprintf("t%04d", i), i, i+3)
+		}
+		if name == extraRel {
+			for _, line := range extra {
+				b.WriteString(line + "\n")
+			}
+		}
+		b.WriteString("end\n\n")
+	}
+	d, err := db.Load(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("buildDB: %v", err)
+	}
+	return d
+}
+
+// saveText renders a database with db.Save (the byte-identity oracle).
+func saveText(t *testing.T, d *db.Database) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := d.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func openStore(t *testing.T, dir string, fault *Fault) *Store {
+	t.Helper()
+	s, err := Open(dir, Options{PageSize: testPageSize, Fault: fault})
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return s
+}
+
+func TestCommitMaterializeRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir, nil)
+	defer s.Close()
+
+	d := buildDB(t, map[string]int{"Land": 20, "Owner": 10}, "")
+	snap, err := s.Commit(d, "", "base")
+	if err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	// A first commit writes every distinct page; refs beyond NewPages can
+	// only come from intra-commit dedup (identical chunks).
+	if snap.Pages == 0 || snap.NewPages == 0 || snap.NewPages+snap.SharedPages != snap.Pages {
+		t.Fatalf("share accounting inconsistent: %+v", snap)
+	}
+	if snap.Tuples != d.TupleCount() {
+		t.Fatalf("tuples = %d, want %d", snap.Tuples, d.TupleCount())
+	}
+	got, err := s.Materialize(snap.ID)
+	if err != nil {
+		t.Fatalf("Materialize: %v", err)
+	}
+	if saveText(t, got) != saveText(t, d) {
+		t.Fatalf("materialized database differs from committed one")
+	}
+}
+
+func TestReopenSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir, nil)
+	d := buildDB(t, map[string]int{"Land": 15}, "")
+	snap, err := s.Commit(d, "", "base")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := saveText(t, d)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := openStore(t, dir, nil)
+	defer s2.Close()
+	list := s2.List()
+	if len(list) != 1 || list[0].ID != snap.ID {
+		t.Fatalf("reopened store lists %+v, want [%s]", list, snap.ID)
+	}
+	if list[0].NewPages != snap.NewPages || list[0].Pages != snap.Pages {
+		t.Fatalf("share accounting lost across restart: %+v vs %+v", list[0], snap)
+	}
+	got, err := s2.Materialize(snap.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if saveText(t, got) != want {
+		t.Fatalf("reopened materialization differs")
+	}
+}
+
+func TestForkIsSharedAndByteIdenticalToFullLoad(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir, nil)
+	defer s.Close()
+
+	d := buildDB(t, map[string]int{"Land": 25}, "")
+	base, err := s.Commit(d, "", "base")
+	if err != nil {
+		t.Fatal(err)
+	}
+	w0 := s.Stats().PagesWritten
+	fork, err := s.Fork(base.ID)
+	if err != nil {
+		t.Fatalf("Fork: %v", err)
+	}
+	if fork.NewPages != 0 || fork.SharedPages != base.Pages {
+		t.Fatalf("fork should share everything: %+v", fork)
+	}
+	if s.Stats().PagesWritten != w0 {
+		t.Fatalf("fork wrote pages")
+	}
+	if fork.Parent != base.ID {
+		t.Fatalf("fork parent = %q, want %q", fork.Parent, base.ID)
+	}
+
+	// A query on the materialized fork must be byte-identical to the
+	// same query on a full Save/Load copy of the same state.
+	forkDB, err := s.Materialize(fork.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := db.Load(strings.NewReader(saveText(t, d)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const q = "R = select x >= 5, x <= 12 from Land"
+	a, err := forkDB.Run(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := full.Run(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	as, bs := a.Sorted(), b.Sorted()
+	if len(as) != len(bs) {
+		t.Fatalf("fork query: %d tuples, full copy: %d", len(as), len(bs))
+	}
+	for i := range as {
+		if as[i].String() != bs[i].String() {
+			t.Fatalf("tuple %d differs:\nfork: %s\nfull: %s", i, as[i], bs[i])
+		}
+	}
+}
+
+func TestDerivedCommitSharesUnchangedPages(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir, nil)
+	defer s.Close()
+
+	base := buildDB(t, map[string]int{"Land": 30, "Owner": 30}, "")
+	b, err := s.Commit(base, "", "base")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutate Owner only (a tuple that sorts last, so Owner's prefix pages
+	// keep their content); Land must be fully shared.
+	derived := buildDB(t, map[string]int{"Land": 30, "Owner": 30}, "Owner",
+		`tuple id="zzzz" | x >= 100, x <= 103, y >= 0, y <= 5`)
+	dsnap, err := s.Commit(derived, b.ID, "base")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dsnap.SharedPages == 0 {
+		t.Fatalf("derived commit shared nothing: %+v", dsnap)
+	}
+	if dsnap.NewPages >= dsnap.Pages/2 {
+		t.Fatalf("derived commit rewrote too much: %+v", dsnap)
+	}
+	// Land's page run must be identical between the two manifests.
+	s.mu.Lock()
+	m0, m1 := s.snaps[b.ID], s.snaps[dsnap.ID]
+	s.mu.Unlock()
+	landPages := func(m *Manifest) []PageRef {
+		for _, rel := range m.Relations {
+			if rel.Name == "Land" {
+				return rel.Pages
+			}
+		}
+		return nil
+	}
+	p0, p1 := landPages(m0), landPages(m1)
+	if len(p0) == 0 || len(p0) != len(p1) {
+		t.Fatalf("Land page runs differ in length: %d vs %d", len(p0), len(p1))
+	}
+	for i := range p0 {
+		if p0[i] != p1[i] {
+			t.Fatalf("Land page %d not shared: %+v vs %+v", i, p0[i], p1[i])
+		}
+	}
+	// And the derived snapshot materializes to the derived state.
+	got, err := s.Materialize(dsnap.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if saveText(t, got) != saveText(t, derived) {
+		t.Fatalf("derived materialization differs")
+	}
+}
+
+func TestReleaseUnknownAndDoubleRelease(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir, nil)
+	defer s.Close()
+	if err := s.Release("nope"); err == nil {
+		t.Fatal("release of unknown snapshot succeeded")
+	}
+	d := buildDB(t, map[string]int{"Land": 5}, "")
+	snap, err := s.Commit(d, "", "base")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Release(snap.ID); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Release(snap.ID); err == nil {
+		t.Fatal("double release succeeded")
+	}
+	if _, err := s.Materialize(snap.ID); err == nil {
+		t.Fatal("materialize of released snapshot succeeded")
+	}
+}
+
+func TestEmptyDatabaseCommits(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir, nil)
+	defer s.Close()
+	snap, err := s.Commit(db.New(), "", "empty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Materialize(snap.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TupleCount() != 0 || len(got.Names()) != 0 {
+		t.Fatalf("empty snapshot materialized non-empty")
+	}
+}
+
+func TestFreedPagesAreReused(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir, nil)
+	defer s.Close()
+
+	d1 := buildDB(t, map[string]int{"Land": 20}, "")
+	s1, err := s.Commit(d1, "", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Release(s1.ID); err != nil {
+		t.Fatal(err)
+	}
+	freed := s.Stats().PagesFree
+	if freed == 0 {
+		t.Fatal("release freed nothing")
+	}
+	allocs0 := s.Stats().Pager.Allocs
+	// A different database: its pages must recycle the freed slots
+	// before the file grows.
+	d2 := buildDB(t, map[string]int{"Parcel": 10}, "")
+	s2, err := s.Commit(d2, "", "b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	reusedWanted := min(freed, s2.NewPages)
+	if got := st.Pager.Allocs - allocs0; got != uint64(s2.NewPages-reusedWanted) {
+		t.Fatalf("fresh allocations = %d, want %d (new %d, reusable %d)",
+			got, s2.NewPages-reusedWanted, s2.NewPages, freed)
+	}
+	if _, err := s.Materialize(s2.ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWALFileGrowsUnderDir(t *testing.T) {
+	dir := t.TempDir()
+	s := openStore(t, dir, nil)
+	defer s.Close()
+	d := buildDB(t, map[string]int{"Land": 3}, "")
+	if _, err := s.Commit(d, "", "base"); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"pages.cdb", "wal.log"} {
+		if _, err := filepath.Glob(filepath.Join(dir, f)); err != nil {
+			t.Fatalf("%s missing: %v", f, err)
+		}
+	}
+	st := s.Stats()
+	if st.WALAppends == 0 || st.WALFlushes == 0 || st.WALBytes == 0 {
+		t.Fatalf("wal counters flat: %+v", st)
+	}
+}

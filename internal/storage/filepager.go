@@ -159,6 +159,26 @@ func (p *FilePager) Free(id PageID) error {
 	return p.writeHeader()
 }
 
+// HighWater returns the highest page id ever allocated (0 when none).
+func (p *FilePager) HighWater() PageID {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.next - 1
+}
+
+// Sync flushes the header and fsyncs the file: every page written before
+// Sync returns is durable. The snapshot store calls this before it
+// appends the WAL records that reference those pages, which is what
+// makes a commit atomic across a crash.
+func (p *FilePager) Sync() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.writeHeader(); err != nil {
+		return err
+	}
+	return p.f.Sync()
+}
+
 // Stats returns the operation counters.
 func (p *FilePager) Stats() Stats {
 	p.mu.Lock()

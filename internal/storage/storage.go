@@ -148,3 +148,16 @@ func (m *MemPager) NumPages() int {
 	defer m.mu.Unlock()
 	return len(m.pages)
 }
+
+// HighWater returns the highest page id ever allocated (0 when none).
+// Together with a caller-side reachability set this lets a layer above
+// (the snapshot store) reclaim pages that were allocated but never
+// referenced by a durable commit.
+func (m *MemPager) HighWater() PageID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.next - 1
+}
+
+// Sync is a no-op: memory has no durability boundary.
+func (m *MemPager) Sync() error { return nil }

@@ -12,18 +12,20 @@ go vet ./...
 echo '>> go test -race ./...'
 go test -race ./...
 
-# A focused second pass over the canonical-kernel and observability
-# packages with a higher -count: the sat-cache, the *Ctx operators and
-# the span/metrics plumbing are where fresh races would live, and
+# A focused second pass over the canonical-kernel, observability and
+# snapshot packages with a higher -count: the sat-cache, the *Ctx
+# operators, the span/metrics plumbing and the snapshot store's
+# commit/fork/release paths are where fresh races would live, and
 # repetition shakes out scheduling-dependent ones cheaply.
-echo '>> go test -race -count=2 ./internal/constraint ./internal/exec ./internal/cqa ./internal/relation ./internal/obs ./internal/server'
-go test -race -count=2 ./internal/constraint ./internal/exec ./internal/cqa ./internal/relation ./internal/obs ./internal/server
+echo '>> go test -race -count=2 ./internal/constraint ./internal/exec ./internal/cqa ./internal/relation ./internal/obs ./internal/server ./internal/snapshot'
+go test -race -count=2 ./internal/constraint ./internal/exec ./internal/cqa ./internal/relation ./internal/obs ./internal/server ./internal/snapshot
 
 # Corpus replay: the committed fuzz corpora under testdata/fuzz/ run as
-# ordinary seed inputs here — every input that ever broke the parsers or
-# the canonical kernel stays fixed without a long -fuzz session.
+# ordinary seed inputs here — every input that ever broke the parsers,
+# the canonical kernel or the snapshot WAL stays fixed without a long
+# -fuzz session.
 echo '>> fuzz corpus replay'
-go test -run Fuzz -count=1 ./internal/constraint ./internal/query ./internal/calculus
+go test -run Fuzz -count=1 ./internal/constraint ./internal/query ./internal/calculus ./internal/snapshot
 
 # CLI smoke: both binaries must build and execute an end-to-end run —
 # cqacdb with the observability flags on, cdbbench on the cqa experiment
@@ -68,6 +70,83 @@ curl -s "$BASE/debug/queries" | grep -q 'recent queries' \
 kill -TERM "$SRV_PID"
 wait "$SRV_PID" || { echo 'server exited non-zero'; exit 1; }
 grep -q 'cqacdbd: bye' /tmp/cdb_cqacdbd.out || { echo 'no graceful drain'; exit 1; }
+
+# Snapshot smoke: the copy-on-write store survives a real kill -9.
+# Phase 1 commits a snapshot of the hurricane db and drains cleanly.
+# Phase 2 restarts with the crash hook armed (-snapshot-fault wal:1: the
+# first WAL append writes a torn prefix and hangs) and kill -9s the
+# daemon mid-commit. Phase 3 reopens the same store and requires the
+# phase-1 snapshot intact, forkable and queryable through a bound
+# session — old state, never a torn mix.
+echo '>> snapshot smoke'
+SNAPDIR=$(mktemp -d /tmp/cdb_snapsmoke.XXXXXX)
+trap 'rm -rf "$SNAPDIR"' EXIT
+/tmp/cdb_cqacdbd -demo hurricane -addr 127.0.0.1:0 -quiet -snapshot-dir "$SNAPDIR" \
+    > /tmp/cdb_snap1.out 2>&1 &
+SRV_PID=$!
+BASE=''
+for _ in $(seq 1 100); do
+    BASE=$(sed -n 's#^cqacdbd listening on \(http://.*\)$#\1#p' /tmp/cdb_snap1.out)
+    [ -n "$BASE" ] && break
+    sleep 0.05
+done
+[ -n "$BASE" ] || { echo 'phase 1: no listen line'; kill "$SRV_PID"; exit 1; }
+SNAP=$(curl -s -X POST "$BASE/v1/dbs/hurricane/snapshots" \
+       | sed -n 's/.*"id": "\([^"]*\)".*/\1/p')
+[ -n "$SNAP" ] || { echo 'phase 1: snapshot commit failed'; kill "$SRV_PID"; exit 1; }
+kill -TERM "$SRV_PID"
+wait "$SRV_PID" || { echo 'phase 1: server exited non-zero'; exit 1; }
+
+/tmp/cdb_cqacdbd -demo hurricane -addr 127.0.0.1:0 -quiet \
+    -snapshot-dir "$SNAPDIR" -snapshot-fault wal:1 \
+    > /tmp/cdb_snap2.out 2>&1 &
+SRV_PID=$!
+BASE=''
+for _ in $(seq 1 100); do
+    BASE=$(sed -n 's#^cqacdbd listening on \(http://.*\)$#\1#p' /tmp/cdb_snap2.out)
+    [ -n "$BASE" ] && break
+    sleep 0.05
+done
+[ -n "$BASE" ] || { echo 'phase 2: no listen line'; kill -9 "$SRV_PID"; exit 1; }
+# This commit hits the armed fault: the WAL append writes a torn prefix
+# and hangs, holding the daemon mid-commit for the kill below.
+curl -s -m 10 -X POST "$BASE/v1/dbs/hurricane/snapshots" >/dev/null 2>&1 &
+CURL_PID=$!
+sleep 1
+kill -9 "$SRV_PID"
+wait "$SRV_PID" 2>/dev/null || true
+wait "$CURL_PID" 2>/dev/null || true
+
+/tmp/cdb_cqacdbd -demo hurricane -addr 127.0.0.1:0 -quiet -snapshot-dir "$SNAPDIR" \
+    > /tmp/cdb_snap3.out 2>&1 &
+SRV_PID=$!
+BASE=''
+for _ in $(seq 1 100); do
+    BASE=$(sed -n 's#^cqacdbd listening on \(http://.*\)$#\1#p' /tmp/cdb_snap3.out)
+    [ -n "$BASE" ] && break
+    sleep 0.05
+done
+[ -n "$BASE" ] || { echo 'phase 3: store did not reopen after kill -9'; kill -9 "$SRV_PID" 2>/dev/null; exit 1; }
+curl -s "$BASE/v1/snapshots" | grep -q "\"$SNAP\"" \
+    || { echo "phase 3: snapshot $SNAP lost in the crash"; kill "$SRV_PID"; exit 1; }
+FORK=$(curl -s -X POST "$BASE/v1/snapshots/$SNAP/fork" \
+       | sed -n 's/.*"id": "\([^"]*\)".*/\1/p')
+[ -n "$FORK" ] || { echo 'phase 3: fork failed'; kill "$SRV_PID"; exit 1; }
+SID=$(curl -s -X POST "$BASE/v1/sessions" -d '{"snapshot": "'"$FORK"'", "par": 2}' \
+      | sed -n 's/.*"id": "\([^"]*\)".*/\1/p')
+[ -n "$SID" ] || { echo 'phase 3: snapshot-bound session failed'; kill "$SRV_PID"; exit 1; }
+curl -s "$BASE/v1/query" -d '{
+  "session": "'"$SID"'",
+  "query": "R0 = join Landownership and Land\nR1 = select t >= 4, t <= 9 from R0\nR2 = project R1 on name"
+}' | grep -q '"count": 4' || { echo 'phase 3: query on recovered fork wrong'; kill "$SRV_PID"; exit 1; }
+kill -TERM "$SRV_PID"
+wait "$SRV_PID" || { echo 'phase 3: server exited non-zero'; exit 1; }
+# The committed snapshot measurement file must stay diffable against a
+# fresh (small) run, same shape guard as the prune/plan files below.
+go run ./cmd/cdbbench -expt snapshot -cqasize 8 -rounds 1 \
+    -json /tmp/cdb_snap_smoke.json >/dev/null
+scripts/benchdiff.sh /tmp/cdb_snap_smoke.json /tmp/cdb_snap_smoke.json >/dev/null
+scripts/benchdiff.sh BENCH_snapshot.json /tmp/cdb_snap_smoke.json 1000000 >/dev/null
 
 # Prune smoke: the filter-and-refine experiment checks filtered output is
 # byte-identical to the dense loop on every workload shape, then benchdiff
