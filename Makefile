@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench bench-parallel bench-all bench-canon bench-prune bench-plan bench-snapshot obs-demo fuzz diff serve
+.PHONY: build test check bench bench-parallel bench-all bench-canon bench-prune bench-plan bench-vector bench-snapshot obs-demo fuzz diff serve
 
 build:
 	$(GO) build ./...
@@ -39,7 +39,7 @@ obs-demo:
 #   git stash -- BENCH_*.json   # or: git show HEAD:BENCH_plan.json > /tmp/old.json
 #   make bench-all
 #   scripts/benchdiff.sh /tmp/old.json BENCH_plan.json
-bench-all: bench-canon bench-prune bench-plan bench-snapshot
+bench-all: bench-canon bench-prune bench-plan bench-vector bench-snapshot
 
 # Measures what the canonical-form sat-cache saves: raw Fourier-Motzkin
 # decision counts and wall time, cold vs warm, on the cqa operator
@@ -63,6 +63,15 @@ bench-prune:
 bench-plan:
 	$(GO) run ./cmd/cdbbench -expt plan -cqasize 96 -rounds 3 -json BENCH_plan.json
 
+# Measures the vector-representation fast path: spatial select, intersect
+# and difference over polygon workloads, pure Fourier-Motzkin (forced
+# dense) vs exact polygon clipping (forced vector) vs the cost-based auto
+# pick — wall time, raw FM decision counts, vector hit/fallback counters.
+# Fails unless every mode's output is byte-identical. Writes
+# BENCH_vector.json; compare two runs with scripts/benchdiff.sh.
+bench-vector:
+	$(GO) run ./cmd/cdbbench -expt vector -cqasize 48 -rounds 3 -json BENCH_vector.json
+
 # Measures the copy-on-write snapshot store: commit cost, page-sharing
 # ratio of a derived commit, O(1) fork vs a full save+load copy, and
 # materialize cost. Writes BENCH_snapshot.json; compare two runs with
@@ -71,7 +80,7 @@ bench-snapshot:
 	$(GO) run ./cmd/cdbbench -expt snapshot -json BENCH_snapshot.json
 
 # Native fuzzing: 30s per target. go's -fuzz takes one package at a time,
-# so the six targets run sequentially (~3min total). Inputs that fail are
+# so the seven targets run sequentially (~3.5min total). Inputs that fail are
 # auto-saved under the package's testdata/fuzz/<Target>/ — commit them;
 # they replay as regression tests in every ordinary `go test` run.
 FUZZTIME ?= 30s
@@ -82,6 +91,7 @@ fuzz:
 	$(GO) test ./internal/calculus -run '^$$' -fuzz '^FuzzCalculusParse$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/snapshot -run '^$$' -fuzz '^FuzzManifest$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/snapshot -run '^$$' -fuzz '^FuzzWALReplay$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/vector -run '^$$' -fuzz '^FuzzVectorRoundTrip$$' -fuzztime $(FUZZTIME)
 
 # Differential check against the semantic oracle: 500 seeded random cases
 # across all seven CQA operators, engine vs naive reference evaluator.

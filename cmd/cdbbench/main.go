@@ -12,6 +12,7 @@
 //	cdbbench -expt corner       # the §5.3 corner case
 //	cdbbench -expt cqa          # parallel vs sequential CQA operator timings
 //	cdbbench -expt canon        # sat-cache cold vs warm decision counts
+//	cdbbench -expt vector       # vector fast path vs pure Fourier-Motzkin
 //	cdbbench -expt diff         # differential check: engine vs semantic oracle
 //	cdbbench -scale 10          # 1/10th of the data for a quick run
 //	cdbbench -page 512          # page (node) size in bytes
@@ -57,11 +58,27 @@
 // way). The global -plan flag also forces a strategy for the prune
 // experiment's filtered contexts.
 //
+// The vector experiment measures the vector-representation fast path
+// (internal/vector): select, intersect and difference over convex-polygon
+// and triangulated-concave-polygon workloads, once with every decision
+// forced through the Fourier-Motzkin eliminator (-plan dense), once with
+// the exact polygon clipper forced (-plan vector) and once under the
+// cost-based planner (auto), -rounds times each. It reports wall time,
+// raw FM decision counts (constraint.DecisionCount deltas), sat-oracle
+// decisions and the vector counters (hits, fallbacks, float rejects),
+// derives the FM-decision reduction and the speedup of vector over the
+// FM baseline, checks that every mode's output is byte-identical (failing
+// otherwise), and -json writes the measurements (the `make bench-vector`
+// target writes BENCH_vector.json this way).
+//
 // The diff experiment runs the semantic oracle's differential harness
 // (internal/oracle): -n random (relation, operator) cases across all seven
 // CQA operators, engine output vs the naive reference evaluator, exact
 // rational membership compared on witness point sets. -seed makes the run
-// reproducible, -par sets the engine's worker pool, and -json writes the
+// reproducible, -par sets the engine's worker pool, -spatial draws
+// polygon-shaped spatial inputs (the vector fast path's workload) instead
+// of random heterogeneous ones, the global -plan forces the engine's
+// pairing strategy under test, and -json writes the
 // report (cases, per-operator counts, points compared, minimised failure
 // pairs) as a JSON object. Any disagreement is printed and fails the run
 // with a nonzero exit.
@@ -97,7 +114,7 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("cdbbench", flag.ContinueOnError)
-	expt := fs.String("expt", "all", "experiment: fig4 | fig5 | exp3 | corner | cqa | canon | prune | plan | diff | snapshot | all")
+	expt := fs.String("expt", "all", "experiment: fig4 | fig5 | exp3 | corner | cqa | canon | prune | plan | vector | diff | snapshot | all")
 	scale := fs.Int("scale", 1, "shrink factor for the workload (1 = paper scale)")
 	page := fs.Int("page", 4096, "page size in bytes (one R*-tree node per page)")
 	buckets := fs.Int("buckets", 8, "buckets per rendered series")
@@ -110,12 +127,13 @@ func run(args []string) error {
 	satCache := fs.Int("sat-cache", 32768, "canon experiment: warm-run sat-cache size in entries")
 	jsonPath := fs.String("json", "", "cqa/canon/diff experiments: write the measurements to this JSON file")
 	cases := fs.Int("n", 100, "diff experiment: number of random (relation, operator) cases")
-	plan := fs.String("plan", exec.PlanAuto, "pairing strategy for the prune experiment's filtered contexts: auto | dense | sweep | index")
+	spatial := fs.Bool("spatial", false, "diff experiment: draw polygon-shaped spatial inputs")
+	plan := fs.String("plan", exec.PlanAuto, "pairing strategy for the prune experiment's filtered contexts and the diff experiment's engine: auto | dense | sweep | index | vector")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if !exec.ValidPlanMode(*plan) {
-		return fmt.Errorf("invalid -plan %q (want auto, dense, sweep or index)", *plan)
+		return fmt.Errorf("invalid -plan %q (want auto, dense, sweep, index or vector)", *plan)
 	}
 	p := datagen.Scaled(*scale)
 	if *seed != 0 {
@@ -133,8 +151,11 @@ func run(args []string) error {
 	if *expt == "plan" {
 		return runPlan(p, *par, *cqaSize, *rounds, *jsonPath, *stats)
 	}
+	if *expt == "vector" {
+		return runVector(p, *par, *cqaSize, *rounds, *jsonPath, *stats)
+	}
 	if *expt == "diff" {
-		return runDiff(*seed, *cases, *par, *jsonPath)
+		return runDiff(*seed, *cases, *par, *plan, *spatial, *jsonPath)
 	}
 	if *expt == "snapshot" {
 		return runSnapshot(p, *cqaSize*8, *rounds*30, *jsonPath)
@@ -810,16 +831,203 @@ func runPlan(p datagen.Params, par, size, rounds int, jsonPath string, stats boo
 	return nil
 }
 
+// vectorModeResult is one (workload, operator, mode) measurement of the
+// vector experiment (the _ms leaves are benchdiff-compatible).
+type vectorModeResult struct {
+	Mode         string  `json:"mode"`
+	WallMS       float64 `json:"wall_ms"`
+	FMDecisions  int64   `json:"fm_decisions"`
+	SatChecks    int64   `json:"sat_checks"`
+	VectorHits   int64   `json:"vector_hits"`
+	VectorFalls  int64   `json:"vector_fallbacks"`
+	FloatRejects int64   `json:"float_rejects"`
+}
+
+// vectorOpResult groups one (workload, operator)'s per-mode runs and the
+// derived fast-path wins: FMReduction = FM decisions under the forced-FM
+// baseline / FM decisions under forced vector (the satellite acceptance
+// gate reads this), Speedup = baseline wall / vector wall.
+type vectorOpResult struct {
+	Workload         string             `json:"workload"`
+	Operator         string             `json:"operator"`
+	TuplesOut        int64              `json:"tuples_out"`
+	OutputsIdentical bool               `json:"outputs_identical"`
+	FMReduction      float64            `json:"fm_reduction"`
+	Speedup          float64            `json:"speedup"`
+	Modes            []vectorModeResult `json:"modes"`
+}
+
+// vectorResult is the vector experiment's measurement record (-json
+// output; `make bench-vector` writes it to BENCH_vector.json).
+type vectorResult struct {
+	Experiment    string           `json:"experiment"`
+	TuplesPerSide int              `json:"tuples_per_side"`
+	Rounds        int              `json:"rounds"`
+	Workers       int              `json:"workers"`
+	Results       []vectorOpResult `json:"results"`
+}
+
+// runVector measures the vector-representation fast path: spatial
+// operators over polygon-shaped constraint relations, decided once purely
+// by the Fourier-Motzkin eliminator (forced dense), once by exact polygon
+// clipping (forced vector) and once under the cost-based planner (auto).
+// Every mode must produce byte-identical output; the run fails otherwise.
+func runVector(p datagen.Params, par, size, rounds int, jsonPath string, stats bool) error {
+	if rounds < 1 {
+		rounds = 1
+	}
+	centerSeed := p.Seed + 123
+	p2 := p
+	p2.Seed = p.Seed + 2000
+	spread := p.CoordMax / 12
+	convex1 := datagen.PolygonRelation(p, size, 6, spread, centerSeed)
+	convex2 := datagen.PolygonRelation(p2, size, 6, spread, centerSeed)
+	concave1 := datagen.ConcavePolygonRelation(p, size, 6, spread, centerSeed)
+	concave2 := datagen.ConcavePolygonRelation(p2, size, 6, spread, centerSeed)
+	// A two-atom spatial selection cutting through the cluster field: keep
+	// the half-plane below the main diagonal, then a vertical slab.
+	selCond := cqa.Condition{
+		cqa.Linear(constraint.Var("x").Add(constraint.Var("y")), cqa.OpLe,
+			constraint.Const(rational.FromInt(int64(p.CoordMax)))),
+		cqa.AttrCmpConst("x", cqa.OpGe, rational.FromInt(int64(p.CoordMax/4))),
+	}
+	runs := []struct {
+		workload, operator string
+		run                func(ec *exec.Context) (*relation.Relation, error)
+	}{
+		{"poly-convex", "select", func(ec *exec.Context) (*relation.Relation, error) {
+			return cqa.SelectCtx(ec, convex1, selCond)
+		}},
+		{"poly-convex", "intersect", func(ec *exec.Context) (*relation.Relation, error) {
+			return cqa.IntersectCtx(ec, convex1, convex2)
+		}},
+		{"poly-convex", "difference", func(ec *exec.Context) (*relation.Relation, error) {
+			return cqa.DifferenceCtx(ec, convex1, convex2)
+		}},
+		{"poly-concave", "select", func(ec *exec.Context) (*relation.Relation, error) {
+			return cqa.SelectCtx(ec, concave1, selCond)
+		}},
+		{"poly-concave", "intersect", func(ec *exec.Context) (*relation.Relation, error) {
+			return cqa.IntersectCtx(ec, concave1, concave2)
+		}},
+		{"poly-concave", "difference", func(ec *exec.Context) (*relation.Relation, error) {
+			return cqa.DifferenceCtx(ec, concave1, concave2)
+		}},
+	}
+	// Forced dense is the pure-FM baseline: the vector refine is gated on
+	// the resolved strategy (binary operators) and on auto/vector mode
+	// (select), so dense never consults the clipper.
+	modes := []string{exec.PlanDense, exec.PlanVector, exec.PlanAuto}
+	res := vectorResult{Experiment: "vector", TuplesPerSide: size, Rounds: rounds, Workers: exec.New(par).Workers()}
+	fmt.Printf("vector fast path: %d tuples per side, %d rounds, %d workers\n\n", size, rounds, res.Workers)
+	fmt.Printf("%-14s %-12s %-7s %12s %10s %10s %10s %10s\n",
+		"workload", "operator", "mode", "wall", "fm", "sat", "vec", "vec-fb")
+	identical := true
+	var statEC *exec.Context
+	for _, r := range runs {
+		or := vectorOpResult{Workload: r.workload, Operator: r.operator, OutputsIdentical: true}
+		var baseDump string
+		var baseline, vec vectorModeResult
+		for _, mode := range modes {
+			ec := exec.New(par)
+			ec.SeqThreshold = 1
+			ec.PlanMode = mode
+			fm0 := constraint.DecisionCount()
+			var out *relation.Relation
+			t0 := time.Now()
+			for i := 0; i < rounds; i++ {
+				var err error
+				out, err = r.run(ec)
+				if err != nil {
+					return fmt.Errorf("%s %s %s: %w", r.workload, r.operator, mode, err)
+				}
+			}
+			wall := time.Since(t0)
+			m := vectorModeResult{
+				Mode:        mode,
+				WallMS:      float64(wall) / float64(time.Millisecond) / float64(rounds),
+				FMDecisions: (constraint.DecisionCount() - fm0) / int64(rounds),
+			}
+			for _, s := range ec.Stats() {
+				m.SatChecks += s.SatChecks
+				m.VectorHits += s.VectorHits
+				m.VectorFalls += s.VectorFalls
+				m.FloatRejects += s.FloatRejects
+			}
+			m.SatChecks /= int64(rounds)
+			m.VectorHits /= int64(rounds)
+			m.VectorFalls /= int64(rounds)
+			m.FloatRejects /= int64(rounds)
+			or.TuplesOut = int64(out.Len())
+			dumpStr := relDump(out)
+			switch mode {
+			case exec.PlanDense:
+				baseDump = dumpStr
+				baseline = m
+			case exec.PlanVector:
+				vec = m
+				if statEC == nil {
+					statEC = ec
+				}
+			}
+			if mode != exec.PlanDense && dumpStr != baseDump {
+				or.OutputsIdentical = false
+			}
+			or.Modes = append(or.Modes, m)
+			fmt.Printf("%-14s %-12s %-7s %12s %10d %10d %10d %10d\n",
+				r.workload, r.operator, mode, (wall / time.Duration(rounds)).Round(time.Microsecond),
+				m.FMDecisions, m.SatChecks, m.VectorHits, m.VectorFalls)
+		}
+		or.FMReduction = float64(baseline.FMDecisions) / float64(maxInt64(vec.FMDecisions, 1))
+		if vec.WallMS > 0 {
+			or.Speedup = baseline.WallMS / vec.WallMS
+		}
+		fmt.Printf("%-14s %-12s %-7s FM decisions %d -> %d (%.1fx), wall %.2fms -> %.2fms (%.2fx)\n",
+			r.workload, r.operator, "", baseline.FMDecisions, vec.FMDecisions, or.FMReduction,
+			baseline.WallMS, vec.WallMS, or.Speedup)
+		identical = identical && or.OutputsIdentical
+		res.Results = append(res.Results, or)
+	}
+	if stats && statEC != nil {
+		fmt.Println("\nforced-vector runs, per-operator stats:")
+		fmt.Print(exec.FormatStats(statEC.Summary()))
+	}
+	if jsonPath != "" {
+		b, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(b, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Println("wrote", jsonPath)
+	}
+	if !identical {
+		return fmt.Errorf("vector: some mode's output diverges from the FM baseline")
+	}
+	fmt.Println("\noutputs byte-identical across dense (pure FM), vector and auto, every workload and operator")
+	return nil
+}
+
 // runDiff runs the semantic oracle's differential harness: n seeded random
 // cases across all seven CQA operators, engine vs naive reference
 // evaluator, membership compared at every witness point. Failures are
 // already minimised by the harness; any disagreement fails the run.
-func runDiff(seed int64, n, par int, jsonPath string) error {
-	rep, err := oracle.Diff(oracle.Config{Cases: n, Seed: seed, Workers: par})
+func runDiff(seed int64, n, par int, plan string, spatial bool, jsonPath string) error {
+	rep, err := oracle.Diff(oracle.Config{Cases: n, Seed: seed, Workers: par, Plan: plan, Spatial: spatial})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("differential oracle: %d cases, seed %d, %d workers\n\n", rep.Cases, rep.Seed, rep.Workers)
+	mode := "heterogeneous"
+	if spatial {
+		mode = "spatial"
+	}
+	planName := plan
+	if planName == "" {
+		planName = exec.PlanAuto
+	}
+	fmt.Printf("differential oracle: %d %s cases, seed %d, plan %s, %d workers\n\n",
+		rep.Cases, mode, rep.Seed, planName, rep.Workers)
 	ops := make([]string, 0, len(rep.PerOp))
 	for op := range rep.PerOp {
 		ops = append(ops, op)

@@ -116,7 +116,7 @@ func (j Conjunction) Canon() Conjunction {
 	}
 	// Pass 3: stable total order.
 	sort.Slice(kept, func(a, b int) bool { return lessConstraint(kept[a], kept[b]) })
-	return Conjunction{cs: kept, canon: true, fp: fingerprintOf(kept), env: &envBox{}}
+	return Conjunction{cs: kept, canon: true, fp: fingerprintOf(kept), env: &envBox{}, aux: &auxBox{}}
 }
 
 // lessConstraint is the stable total order of canonical atoms: by operator,

@@ -3,6 +3,7 @@ package constraint
 import (
 	"sort"
 	"strings"
+	"sync"
 
 	"cdb/internal/rational"
 )
@@ -26,6 +27,41 @@ type Conjunction struct {
 	// form. Constructors that perturb the form leave env nil (Envelope
 	// then computes uncached).
 	env *envBox
+
+	// aux, when non-nil, lazily memoizes one externally computed derived
+	// value (see Memo). Same lifecycle as env: Canon attaches a fresh box,
+	// copies share it, perturbing constructors leave it nil. It keeps the
+	// constraint layer representation-neutral: higher layers (the vector
+	// fast path in internal/vector) can cache an alternate finite
+	// representation per canonical form without this package knowing its
+	// type.
+	aux *auxBox
+}
+
+// auxBox lazily holds one derived value per canonical form (the same
+// shared-box pattern as envBox, but with an opaque payload chosen by the
+// first caller of Memo).
+type auxBox struct {
+	once sync.Once
+	val  any
+}
+
+// Memo returns the auxiliary value memoized on j's canonical form,
+// computing it with compute on first use. All copies of a canonical
+// conjunction share the box, so compute runs at most once per canonical
+// form — concurrent callers block on the same sync.Once. On conjunctions
+// without a box (non-canonical constructors leave aux nil) the value is
+// computed uncached on every call.
+//
+// All callers of Memo on a process must agree on the computed type: the
+// first compute wins and later calls get its value back regardless of the
+// compute they pass.
+func (j Conjunction) Memo(compute func() any) any {
+	if j.aux == nil {
+		return compute()
+	}
+	j.aux.once.Do(func() { j.aux.val = compute() })
+	return j.aux.val
 }
 
 // And returns the conjunction of the given constraints. Trivially true
@@ -43,24 +79,28 @@ func And(cs ...Constraint) Conjunction {
 }
 
 // True is the empty conjunction (satisfied by every assignment).
-func True() Conjunction { return Conjunction{canon: true, fp: fingerprintOf(nil), env: trueEnvBox} }
+func True() Conjunction {
+	return Conjunction{canon: true, fp: fingerprintOf(nil), env: trueEnvBox, aux: trueAuxBox}
+}
 
 // False returns a canonical unsatisfiable conjunction (0 < 0). The sentinel
 // is pre-flagged canonical: Canon and Fingerprint leave it unchanged (its
 // single atom is trivially false, which Canon collapses back to False), and
 // And/With keep it (only trivially *true* atoms are dropped).
 func False() Conjunction {
-	return Conjunction{cs: falseAtoms, canon: true, fp: falseFingerprint, env: falseEnvBox}
+	return Conjunction{cs: falseAtoms, canon: true, fp: falseFingerprint, env: falseEnvBox, aux: falseAuxBox}
 }
 
 var (
 	falseAtoms       = []Constraint{{Expr: Expr{}, Op: Lt}}
 	falseFingerprint = fingerprintOf(falseAtoms)
-	// Shared envelope boxes for the two canonical sentinels (their sync.Once
-	// is safe to share process-wide; both envelopes are trivially empty —
-	// 0 < 0 has no variable term, so even False bounds nothing).
+	// Shared envelope and aux boxes for the two canonical sentinels (their
+	// sync.Once is safe to share process-wide; both envelopes are trivially
+	// empty — 0 < 0 has no variable term, so even False bounds nothing).
 	trueEnvBox  = &envBox{}
 	falseEnvBox = &envBox{}
+	trueAuxBox  = &auxBox{}
+	falseAuxBox = &auxBox{}
 )
 
 // With returns j extended with additional constraints.

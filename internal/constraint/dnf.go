@@ -98,6 +98,64 @@ func SubtractAllWith(j Conjunction, ks []Conjunction, sat SatFunc) Disjunction {
 	return work
 }
 
+// SubtractAllScoped is SubtractAllWith with every satisfiability decision
+// replaced by scoped(extras), where extras lists the atoms accumulated on
+// top of j by the staircase so far (negations emitted into the candidate
+// disjunct plus the prefix atoms of already-processed subtrahends). The
+// conjunction under decision is always j ∧ extras; callers that can
+// decide that conjunction from j's shape plus the extra atoms alone (the
+// vector fast path decides it by clipping j's cached polygon) avoid
+// rebuilding and re-canonicalising the conjunction per decision. The
+// emitted disjuncts and their order are exactly those of SubtractAllWith
+// whenever scoped agrees with the sat oracle.
+func SubtractAllScoped(j Conjunction, ks []Conjunction, scoped func(extras []Constraint) bool) Disjunction {
+	type piece struct {
+		con    Conjunction
+		extras []Constraint
+	}
+	work := []piece{{con: j}}
+	for _, k := range ks {
+		var next []piece
+		for _, p := range work {
+			if !scoped(p.extras) {
+				continue
+			}
+			prefix, pext := p.con, p.extras
+			for _, c := range k.Constraints() {
+				for _, neg := range c.Complement() {
+					ext := appendExtra(pext, neg)
+					if scoped(ext) {
+						next = append(next, piece{con: prefix.With(neg), extras: ext})
+					}
+				}
+				prefix = prefix.With(c)
+				pext = appendExtra(pext, c)
+				if !scoped(pext) {
+					break
+				}
+			}
+		}
+		work = next
+		if len(work) == 0 {
+			return nil
+		}
+	}
+	out := make(Disjunction, len(work))
+	for i, p := range work {
+		out[i] = p.con
+	}
+	return out
+}
+
+// appendExtra appends with a fresh backing array: staircase pieces fan out
+// from shared prefixes, so in-place append would alias between siblings.
+func appendExtra(xs []Constraint, c Constraint) []Constraint {
+	out := make([]Constraint, len(xs)+1)
+	copy(out, xs)
+	out[len(xs)] = c
+	return out
+}
+
 // IsSatisfiable reports whether any disjunct is satisfiable.
 func (d Disjunction) IsSatisfiable() bool {
 	for _, j := range d {

@@ -130,10 +130,24 @@ func PointToConjunction(p geometry.Point, xVar, yVar string) constraint.Conjunct
 	)
 }
 
+// UnboundedError reports that a conjunction's region extends to infinity
+// in variable Var, so it has no finite vertex representation. It is a
+// typed error so callers probing for vector eligibility (the fast path's
+// FormOf) can branch on it without string matching.
+type UnboundedError struct {
+	Var string
+}
+
+func (e *UnboundedError) Error() string {
+	return fmt.Sprintf("convert: conjunction is unbounded in %s", e.Var)
+}
+
 // ConjunctionVertices enumerates the vertices of the closure of a
 // two-dimensional conjunction over (xVar, yVar): all feasible pairwise
 // intersections of constraint boundary lines. The conjunction must be
-// bounded (checked); unbounded or trivially infinite regions are an error.
+// bounded: unbounded regions (including half-open single-atom inputs like
+// x <= 5, which earlier versions mis-converted into an empty vertex list)
+// are rejected with an *UnboundedError.
 func ConjunctionVertices(j constraint.Conjunction, xVar, yVar string) ([]geometry.Point, error) {
 	for _, v := range j.Vars() {
 		if v != xVar && v != yVar {
@@ -146,9 +160,27 @@ func ConjunctionVertices(j constraint.Conjunction, xVar, yVar string) ([]geometr
 	for _, v := range []string{xVar, yVar} {
 		iv, ok := j.VarBounds(v)
 		if !ok || !iv.HasLower || !iv.HasUpper {
-			return nil, fmt.Errorf("convert: conjunction is unbounded in %s", v)
+			return nil, &UnboundedError{Var: v}
 		}
 	}
+	verts := ClosureVertices(j, xVar, yVar)
+	if len(verts) == 0 {
+		return nil, fmt.Errorf("convert: no vertices found (region not a bounded polytope?)")
+	}
+	return verts, nil
+}
+
+// ClosureVertices is the enumeration core of ConjunctionVertices without
+// any of its Fourier–Motzkin guards: it intersects constraint boundary
+// lines pairwise and keeps the points on the closure of the region (every
+// strict constraint relaxed to its boundary). For a bounded satisfiable
+// conjunction the convex hull of the result is exactly the closure of the
+// region; for unbounded or unsatisfiable input the result is merely the
+// feasible boundary intersections (possibly none) and the caller must
+// establish boundedness itself. The vector fast path depends on this
+// split: its eligibility probe decides boundedness geometrically
+// (recession cone) and must make zero FM decisions.
+func ClosureVertices(j constraint.Conjunction, xVar, yVar string) []geometry.Point {
 	cs := j.Constraints()
 	var verts []geometry.Point
 	seen := map[string]bool{}
@@ -188,10 +220,7 @@ func ConjunctionVertices(j constraint.Conjunction, xVar, yVar string) ([]geometr
 			}
 		}
 	}
-	if len(verts) == 0 {
-		return nil, fmt.Errorf("convert: no vertices found (region not a bounded polytope?)")
-	}
-	return verts, nil
+	return verts
 }
 
 // lineIntersection solves the 2x2 system given by the boundary lines of

@@ -1,0 +1,102 @@
+package convert
+
+import (
+	"errors"
+	"testing"
+
+	"cdb/internal/constraint"
+	"cdb/internal/geometry"
+	"cdb/internal/rational"
+)
+
+// Regression tests for the typed unbounded rejection: half-open and
+// single-atom conjunctions have feasible boundary intersections (or none
+// at all) but no finite vertex representation, and must come back as
+// *UnboundedError — never as a mis-converted polygon.
+func TestConjunctionVerticesUnboundedTyped(t *testing.T) {
+	five := rational.FromInt(5)
+	zero := rational.Zero
+	cases := []struct {
+		name string
+		j    constraint.Conjunction
+		av   string // variable the error should name
+	}{
+		{
+			// Half-open strip: x bounded, y only bounded below.
+			"half-open",
+			constraint.And(
+				constraint.GeConst("x", zero), constraint.LeConst("x", five),
+				constraint.GeConst("y", zero)),
+			"y",
+		},
+		{
+			// Single atom: a half-plane, unbounded in both variables.
+			"single-atom",
+			constraint.And(constraint.LeConst("x", five)),
+			"x",
+		},
+		{
+			// Quadrant: two feasible boundary lines intersect at the
+			// origin, so the old pairwise enumeration would have found a
+			// "vertex" and silently built a wrong region.
+			"quadrant",
+			constraint.And(constraint.GeConst("x", zero), constraint.GeConst("y", zero)),
+			"x",
+		},
+		{
+			// Canonical form must behave the same as the raw form.
+			"half-open-canon",
+			constraint.And(
+				constraint.GeConst("x", zero), constraint.LeConst("x", five),
+				constraint.GeConst("y", zero)).Canon(),
+			"y",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ConjunctionVertices(tc.j, "x", "y")
+			if err == nil {
+				t.Fatal("unbounded conjunction accepted")
+			}
+			var ue *UnboundedError
+			if !errors.As(err, &ue) {
+				t.Fatalf("error %v is not *UnboundedError", err)
+			}
+			if ue.Var != tc.av {
+				t.Fatalf("UnboundedError.Var = %q, want %q", ue.Var, tc.av)
+			}
+		})
+	}
+}
+
+// The quadrant case through ClosureVertices: the FM-free core reports the
+// feasible boundary intersections as-is — it is the caller's job to
+// establish boundedness, which is exactly what the typed error above is
+// for.
+func TestClosureVerticesNoBoundednessGuard(t *testing.T) {
+	quad := constraint.And(
+		constraint.GeConst("x", rational.Zero), constraint.GeConst("y", rational.Zero))
+	verts := ClosureVertices(quad, "x", "y")
+	if len(verts) != 1 || !verts[0].Equal(geometry.Pt(0, 0)) {
+		t.Fatalf("quadrant closure vertices = %v, want just the origin", verts)
+	}
+}
+
+// Bounded regions still convert, and ClosureVertices agrees with the
+// guarded ConjunctionVertices on them.
+func TestClosureVerticesMatchesGuardedOnBounded(t *testing.T) {
+	box := constraint.And(
+		constraint.GeConst("x", rational.Zero), constraint.LeConst("x", rational.FromInt(2)),
+		constraint.GeConst("y", rational.Zero), constraint.LeConst("y", rational.FromInt(3)))
+	want, err := ConjunctionVertices(box, "x", "y")
+	if err != nil {
+		t.Fatalf("bounded box rejected: %v", err)
+	}
+	got := ClosureVertices(box, "x", "y")
+	if len(got) != len(want) {
+		t.Fatalf("core found %d vertices, guarded %d", len(got), len(want))
+	}
+	if len(got) != 4 {
+		t.Fatalf("box has %d vertices, want 4", len(got))
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"cdb/internal/exec"
 	"cdb/internal/relation"
 	"cdb/internal/schema"
+	"cdb/internal/vector"
 )
 
 // The operators come in pairs: Op(args) is the sequential convenience
@@ -52,7 +53,7 @@ func SelectCtx(ec *exec.Context, r *relation.Relation, cond Condition) (*relatio
 		for _, a := range cond {
 			var next []relation.Tuple
 			for _, v := range variants {
-				res, err := evalAtom(a, r.Schema(), v, rec)
+				res, err := evalAtom(a, r.Schema(), v, ec, rec)
 				if err != nil {
 					return nil, err
 				}
@@ -210,6 +211,36 @@ func joinCtx(ec *exec.Context, op, hint string, r1, r2 *relation.Relation) (*rel
 		nt := relation.JoinTuple(t1, t2, con)
 		return &nt, nil
 	}
+	// vectorRefine is refine with the satisfiability decision replaced by
+	// exact polygon clipping when both sides carry a cached vector form:
+	// same variable pair → clip (PairSat); fully disjoint variable pairs →
+	// satisfiable outright (two nonempty regions over independent
+	// variables always merge). Any other shape falls back to FM. PairSat
+	// agrees with FM exactly, and sat pairs emit the same Merge+Canon
+	// tuple, so the output bytes match refine's.
+	vectorRefine := func(t1, t2 relation.Tuple) (*relation.Tuple, error) {
+		f1, f2 := vector.FormOf(t1.Constraint()), vector.FormOf(t2.Constraint())
+		if f1 != nil && f2 != nil {
+			if f1.XVar == f2.XVar && f1.YVar == f2.YVar {
+				sat, reject := vector.PairSat(f1, f2)
+				rec.VectorHit(sat, reject)
+				if !sat {
+					return nil, nil
+				}
+			} else if f1.XVar != f2.XVar && f1.XVar != f2.YVar &&
+				f1.YVar != f2.XVar && f1.YVar != f2.YVar {
+				rec.VectorHit(true, false)
+			} else {
+				rec.VectorFallback()
+				return refine(t1, t2)
+			}
+			con := t1.Constraint().Merge(t2.Constraint()).Canon()
+			nt := relation.JoinTuple(t1, t2, con)
+			return &nt, nil
+		}
+		rec.VectorFallback()
+		return refine(t1, t2)
+	}
 	var results []*relation.Tuple
 	items := pairs
 	if ec.PruneEnabled() && pairs > 0 {
@@ -222,9 +253,13 @@ func joinCtx(ec *exec.Context, op, hint string, r1, r2 *relation.Relation) (*rel
 		rec.Pairing(plan.strategy, plan.estPairs)
 		rec.Pairs(int64(plan.total), int64(plan.pruned()))
 		items = len(plan.cands)
+		step := refine
+		if plan.strategy == exec.PlanVector {
+			step = vectorRefine
+		}
 		results, err = exec.Map(ec, items, func(k int) (*relation.Tuple, error) {
 			idx := plan.cands[k]
-			return refine(t1s[idx/len(t2s)], t2s[idx%len(t2s)])
+			return step(t1s[idx/len(t2s)], t2s[idx%len(t2s)])
 		})
 	} else {
 		rec.Pairs(int64(pairs), 0)
@@ -421,6 +456,7 @@ func differenceCtx(ec *exec.Context, hint string, r1, r2 *relation.Relation) (*r
 		part = relation.NewPartition(t2s, relNames)
 		env1, env2 = envelopes(t1s), envelopes(t2s)
 		stats := analyzePairing(env1, env2, relation.NewPartition(t1s, relNames), part, conAttrs)
+		stats.elig1, stats.elig2 = countVectorEligible(t1s), countVectorEligible(t2s)
 		strategy = resolveStrategy(ec, hint, stats, ec.SweepSize())
 		if strategy == exec.PlanIndex {
 			indexMatches = indexDiffMatches(stats.indexAttrs, t1s, t2s, env1, env2, conAttrs)
@@ -442,7 +478,9 @@ func differenceCtx(ec *exec.Context, hint string, r1, r2 *relation.Relation) (*r
 			switch {
 			case indexMatches != nil:
 				matches = indexMatches[i]
-			case strategy == exec.PlanSweep:
+			case strategy == exec.PlanSweep || strategy == exec.PlanVector:
+				// Bucket lookup: same match list as the dense scan (bucket
+				// lists keep input order), found without scanning all of r2.
 				for _, j := range part.Lookup(t1) {
 					if env1[i].Disjoint(env2[j], conAttrs) {
 						continue
@@ -466,10 +504,32 @@ func differenceCtx(ec *exec.Context, hint string, r1, r2 *relation.Relation) (*r
 			}
 			rec.Pairs(int64(len(t2s)), 0)
 		}
+		// Under PlanVector, decisions about t1's region run on its cached
+		// polygon form where one exists; every vector decision agrees with
+		// FM exactly, so the subtrahend list, the staircase expansion and
+		// the output bytes match the FM path's.
+		var f1 *vector.Form
+		if strategy == exec.PlanVector {
+			f1 = vector.FormOf(t1.Constraint())
+		}
 		// Refine, part 1 — intersection pre-filter: keep only subtrahends
 		// whose region actually meets t1's.
 		var subtrahends []constraint.Conjunction
 		for _, j := range matches {
+			if f1 != nil {
+				f2 := vector.FormOf(t2s[j].Constraint())
+				if f2 != nil && f2.XVar == f1.XVar && f2.YVar == f1.YVar {
+					sat, reject := vector.PairSat(f1, f2)
+					rec.VectorHit(sat, reject)
+					if sat {
+						subtrahends = append(subtrahends, t2s[j].Constraint())
+					}
+					continue
+				}
+				rec.VectorFallback()
+			} else if strategy == exec.PlanVector {
+				rec.VectorFallback()
+			}
 			if !rec.Satisfiable(t1.Constraint().Merge(t2s[j].Constraint()).Canon()) {
 				continue
 			}
@@ -481,7 +541,28 @@ func differenceCtx(ec *exec.Context, hint string, r1, r2 *relation.Relation) (*r
 		// surfaces them in the stats. The pieces share t1's relational
 		// part: tuples are immutable, so WithConstraint reuses the binding
 		// map instead of copying it once per piece.
-		pieces := constraint.SubtractAllWith(t1.Constraint(), subtrahends, rec.SatFunc())
+		//
+		// With a vector form in hand the staircase decisions clip the
+		// polygon instead: SubtractAllScoped hands over just the extra
+		// atoms accumulated on top of t1, and the conjunction is only
+		// rebuilt on the rare fallback (an atom the clipper cannot decide).
+		var pieces constraint.Disjunction
+		if f1 != nil {
+			base := t1.Constraint()
+			pieces = constraint.SubtractAllScoped(base, subtrahends, func(extras []constraint.Constraint) bool {
+				if len(extras) == 0 {
+					return true // t1 itself: nonempty, witnessed by its form
+				}
+				if sat, ok := vector.SatExtras(f1, extras); ok {
+					rec.VectorHit(sat, false)
+					return sat
+				}
+				rec.VectorFallback()
+				return rec.Satisfiable(base.With(extras...))
+			})
+		} else {
+			pieces = constraint.SubtractAllWith(t1.Constraint(), subtrahends, rec.SatFunc())
+		}
 		keepPieces := make([]relation.Tuple, 0, len(pieces))
 		for _, con := range pieces {
 			keepPieces = append(keepPieces, t1.WithConstraint(con.Canon()))

@@ -7,6 +7,7 @@ import (
 	"cdb/internal/exec"
 	"cdb/internal/rational"
 	"cdb/internal/relation"
+	"cdb/internal/vector"
 )
 
 // This file is the filter stage of the binary operators' filter-and-refine
@@ -49,7 +50,8 @@ import (
 type pairPlan struct {
 	cands      []int    // surviving pairs as flattened indexes i1*m + i2, ascending
 	total      int      // the dense candidate space |t1s|·|t2s|
-	strategy   string   // the resolved pairing strategy (exec.PlanDense/Sweep/Index)
+	strategy   string   // the resolved pairing strategy (exec.PlanDense/Sweep/Index/Vector)
+	enum       string   // the candidate-enumeration strategy (PlanVector substitutes the refine step, not the enumeration; equals strategy otherwise)
 	estPairs   int64    // the estimator's upper bound on surviving candidates
 	sweepAttr  string   // the sweep's sort attribute; "" = none bounded on both sides
 	indexAttrs []string // the index probe's dimensions; nil = index not applicable
@@ -65,6 +67,20 @@ func envelopes(ts []relation.Tuple) []constraint.Envelope {
 		out[i] = ts[i].Constraint().Envelope()
 	}
 	return out
+}
+
+// countVectorEligible counts the tuples whose constraint part has an
+// exact polygon form (vector.FormOf non-nil). The probe is memoized on
+// the canonical conjunction, so the forms computed here are the same
+// ones the refine stage reuses — counting is not wasted work.
+func countVectorEligible(ts []relation.Tuple) int {
+	n := 0
+	for i := range ts {
+		if vector.FormOf(ts[i].Constraint()) != nil {
+			n++
+		}
+	}
+	return n
 }
 
 // pairCandidates runs the filter stage over t1s × t2s: partition on the
@@ -85,7 +101,15 @@ func pairCandidates(ec *exec.Context, hint string, t1s, t2s []relation.Tuple, sh
 		p2 = relation.NewPartition(t2s, sharedRel)
 	}
 	stats := analyzePairing(env1, env2, p1, p2, sharedCon)
+	stats.elig1, stats.elig2 = countVectorEligible(t1s), countVectorEligible(t2s)
 	plan.strategy = resolveStrategy(ec, hint, stats, ec.SweepSize())
+	plan.enum = plan.strategy
+	if plan.strategy == exec.PlanVector {
+		// Vector substitutes the refine step only; candidates are still
+		// enumerated by whichever of dense/sweep/index the cost model
+		// picks, keeping the candidate set strategy-independent.
+		plan.enum = decideEnum(stats, ec.SweepSize())
+	}
 	plan.estPairs = stats.est
 	plan.sweepAttr = stats.sweepAttr
 	plan.indexAttrs = stats.indexAttrs
@@ -103,7 +127,7 @@ func pairCandidates(ec *exec.Context, hint string, t1s, t2s []relation.Tuple, sh
 		}
 	}
 	runBucket := func(as, bs []int) {
-		strat := plan.strategy
+		strat := plan.enum
 		if auto && strat != exec.PlanDense && len(as)*len(bs) < ec.SweepSize() {
 			strat = exec.PlanDense
 		}

@@ -175,12 +175,14 @@ func TestOperatorStats(t *testing.T) {
 		t.Errorf("TuplesOut = %d, want %d", s.TuplesOut, out.Len())
 	}
 	// No shared relational attributes: the filter considers every pair,
-	// and each pair is either envelope-pruned or satisfiability-checked.
+	// and each pair is either envelope-pruned or decided — through the sat
+	// oracle or the vector fast path.
 	if want := int64(r1.Len() * r2b.Len()); s.PairsTotal != want {
 		t.Errorf("PairsTotal = %d, want %d", s.PairsTotal, want)
 	}
-	if want := s.PairsTotal - s.PairsPruned; s.SatChecks != want {
-		t.Errorf("SatChecks = %d, want PairsTotal-PairsPruned = %d", s.SatChecks, want)
+	if want := s.PairsTotal - s.PairsPruned; s.SatChecks+s.VectorHits != want {
+		t.Errorf("SatChecks+VectorHits = %d+%d, want PairsTotal-PairsPruned = %d",
+			s.SatChecks, s.VectorHits, want)
 	}
 	// pruned = filter rejects + unsatisfiable sat decisions, so every
 	// candidate not in the output is accounted for exactly once.

@@ -39,7 +39,30 @@ import (
 // strategy for a pairing problem summarised by s. Inputs smaller than
 // sweepSize (the legacy sweep crossover) always run dense — at that size
 // strategy machinery costs more than the loop it replaces.
+//
+// The vector fast path is not an enumeration strategy but a refine-stage
+// substitution (exact polygon clipping instead of Fourier–Motzkin on the
+// eligible pairs), so its decision comes first and is driven by
+// eligibility, not candidate counts: when at least half the candidate
+// pairs are expected to be decidable in vector form, the FM savings
+// dominate whatever the enumeration does. The candidate *enumeration*
+// under PlanVector is still picked by the same cost model (decideEnum).
 func decideStrategy(s pairStats, sweepSize int) string {
+	if int64(s.n)*int64(s.m) < int64(sweepSize) {
+		return exec.PlanDense
+	}
+	if s.vectorFrac() >= 0.5 {
+		return exec.PlanVector
+	}
+	return decideEnum(s, sweepSize)
+}
+
+// decideEnum is the enumeration half of the cost model: dense, sweep or
+// index. It is what decideStrategy returns for non-vector pairings, and
+// what the filter stage runs *inside* a PlanVector pairing to enumerate
+// candidates (the candidate set is strategy-independent, so the vector
+// refine composes with any of the three).
+func decideEnum(s pairStats, sweepSize int) string {
 	if s.sweepAttr == "" || int64(s.n)*int64(s.m) < int64(sweepSize) {
 		return exec.PlanDense
 	}
@@ -88,6 +111,15 @@ func resolveStrategy(ec *exec.Context, hint string, s pairStats, sweepSize int) 
 			return exec.PlanDense
 		}
 		return exec.PlanIndex
+	case exec.PlanVector:
+		// Forcing vector with nothing eligible on either side would run
+		// the FM fallback per pair while reporting strategy=vector;
+		// degrade honestly instead. One eligible side is kept: the
+		// difference staircase profits from the minuend's form alone.
+		if s.elig1 == 0 && s.elig2 == 0 {
+			return exec.PlanDense
+		}
+		return exec.PlanVector
 	}
 	return decideStrategy(s, sweepSize)
 }
@@ -128,7 +160,9 @@ func pairStatsFor(r1, r2 *relation.Relation) pairStats {
 		p1 = relation.NewPartition(t1s, sharedRel)
 		p2 = relation.NewPartition(t2s, sharedRel)
 	}
-	return analyzePairing(env1, env2, p1, p2, sharedCon)
+	stats := analyzePairing(env1, env2, p1, p2, sharedCon)
+	stats.elig1, stats.elig2 = countVectorEligible(t1s), countVectorEligible(t2s)
+	return stats
 }
 
 // PlanPhysical annotates the plan's binary nodes with pairing-strategy

@@ -53,8 +53,9 @@ func TestChooseSweepAttrTieBreak(t *testing.T) {
 }
 
 // TestStrategyEquivalence is the physical planner's acceptance contract:
-// every pairing strategy — forced dense, forced sweep, forced index, and
-// the cost model's auto pick — produces byte-identical output (same
+// every pairing strategy — forced dense, forced sweep, forced index,
+// forced vector, and the cost model's auto pick — produces byte-identical
+// output (same
 // tuples, same order) on every binary operator and workload shape, both
 // sequentially and under the worker pool. Forced modes disable the
 // small-bucket dense escape, so sweep and index really run.
@@ -64,7 +65,7 @@ func TestStrategyEquivalence(t *testing.T) {
 		"intersect":  IntersectCtx,
 		"difference": DifferenceCtx,
 	}
-	modes := []string{exec.PlanDense, exec.PlanSweep, exec.PlanIndex, exec.PlanAuto}
+	modes := []string{exec.PlanDense, exec.PlanSweep, exec.PlanIndex, exec.PlanVector, exec.PlanAuto}
 	for wName, pair := range pruneInputs(t) {
 		for opName, op := range ops {
 			for _, par := range []int{1, 4} {
@@ -101,7 +102,7 @@ func TestEstimatorBounds(t *testing.T) {
 		"intersect":  IntersectCtx,
 		"difference": DifferenceCtx,
 	}
-	modes := []string{exec.PlanAuto, exec.PlanDense, exec.PlanSweep, exec.PlanIndex}
+	modes := []string{exec.PlanAuto, exec.PlanDense, exec.PlanSweep, exec.PlanIndex, exec.PlanVector}
 	for wName, pair := range pruneInputs(t) {
 		for opName, op := range ops {
 			for _, mode := range modes {
@@ -151,7 +152,7 @@ func TestPlanPhysicalAnnotations(t *testing.T) {
 		t.Fatalf("PlanPhysical changed the node type: %T", planned)
 	}
 	switch j.Strategy {
-	case exec.PlanDense, exec.PlanSweep, exec.PlanIndex:
+	case exec.PlanDense, exec.PlanSweep, exec.PlanIndex, exec.PlanVector:
 	default:
 		t.Errorf("scan-children join stamped %q, want a concrete strategy", j.Strategy)
 	}

@@ -34,6 +34,7 @@ import (
 	"cdb/internal/rational"
 	"cdb/internal/relation"
 	"cdb/internal/schema"
+	"cdb/internal/vector"
 )
 
 // CompOp is a comparison operator of a selection atom.
@@ -211,8 +212,9 @@ func (c Condition) Validate(s schema.Schema) error {
 // evalAtom applies one atom to a tuple, returning the surviving tuple
 // variants (empty = rejected; two variants for != over constraint
 // attributes, which splits the region into the < and > half-spaces).
-// Satisfiability decisions are recorded on rec (nil-safe).
-func evalAtom(a Atom, s schema.Schema, t relation.Tuple, rec *exec.OpRecorder) ([]relation.Tuple, error) {
+// Satisfiability decisions are recorded on rec (nil-safe); ec supplies
+// the plan mode that gates the vector fast path in keepIfSat.
+func evalAtom(a Atom, s schema.Schema, t relation.Tuple, ec *exec.Context, rec *exec.OpRecorder) ([]relation.Tuple, error) {
 	switch at := a.(type) {
 	case StringAtom:
 		lv, bound := t.RVal(at.Attr)
@@ -255,24 +257,47 @@ func evalAtom(a Atom, s schema.Schema, t relation.Tuple, rec *exec.OpRecorder) (
 		case OpEq, OpLe, OpLt:
 			nc := constraint.Constraint{Expr: e, Op: map[CompOp]constraint.Op{
 				OpEq: constraint.Eq, OpLe: constraint.Le, OpLt: constraint.Lt}[at.Op]}
-			return keepIfSat(t.AndConstraints(nc), rec), nil
+			return keepIfSat(t, []constraint.Constraint{nc}, ec, rec), nil
 		case OpGe:
-			return keepIfSat(t.AndConstraints(constraint.Constraint{Expr: e.Neg(), Op: constraint.Le}), rec), nil
+			return keepIfSat(t, []constraint.Constraint{{Expr: e.Neg(), Op: constraint.Le}}, ec, rec), nil
 		case OpGt:
-			return keepIfSat(t.AndConstraints(constraint.Constraint{Expr: e.Neg(), Op: constraint.Lt}), rec), nil
+			return keepIfSat(t, []constraint.Constraint{{Expr: e.Neg(), Op: constraint.Lt}}, ec, rec), nil
 		case OpNe:
 			// e != 0 splits into e < 0 and e > 0.
 			var out []relation.Tuple
-			out = append(out, keepIfSat(t.AndConstraints(constraint.Constraint{Expr: e, Op: constraint.Lt}), rec)...)
-			out = append(out, keepIfSat(t.AndConstraints(constraint.Constraint{Expr: e.Neg(), Op: constraint.Lt}), rec)...)
+			out = append(out, keepIfSat(t, []constraint.Constraint{{Expr: e, Op: constraint.Lt}}, ec, rec)...)
+			out = append(out, keepIfSat(t, []constraint.Constraint{{Expr: e.Neg(), Op: constraint.Lt}}, ec, rec)...)
 			return out, nil
 		}
 	}
 	return nil, fmt.Errorf("cqa: unknown atom type %T", a)
 }
 
-func keepIfSat(t relation.Tuple, rec *exec.OpRecorder) []relation.Tuple {
-	ct := t.Canon()
+// keepIfSat conjoins the added atoms onto t, canonicalises, and keeps the
+// result if satisfiable. Under PlanAuto and PlanVector the decision runs
+// through the vector fast path when t's constraint part has a cached
+// polygon form: the added atoms clip the polygon (vector.SatExtras)
+// instead of rebuilding the conjunction for the eliminator. The emitted
+// tuple is constructed identically on every path, so the output bytes
+// never depend on which oracle decided; forcing dense/sweep/index keeps
+// the decisions purely on FM for baseline comparisons.
+func keepIfSat(t relation.Tuple, added []constraint.Constraint, ec *exec.Context, rec *exec.OpRecorder) []relation.Tuple {
+	if mode := ec.Plan(); mode == exec.PlanAuto || mode == exec.PlanVector {
+		if form := vector.FormOf(t.Constraint()); form != nil {
+			if sat, ok := vector.SatExtras(form, added); ok {
+				rec.VectorHit(sat, false)
+				if !sat {
+					// Rejected without ever building the conjoined
+					// conjunction — rejected variants emit nothing, so
+					// skipping their Canon cannot change the output.
+					return nil
+				}
+				return []relation.Tuple{t.AndConstraints(added...).Canon()}
+			}
+			rec.VectorFallback()
+		}
+	}
+	ct := t.AndConstraints(added...).Canon()
 	if rec.Satisfiable(ct.Constraint()) {
 		return []relation.Tuple{ct}
 	}

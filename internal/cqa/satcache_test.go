@@ -65,7 +65,10 @@ func TestSatCacheWarmReuse(t *testing.T) {
 	cache := constraint.NewSatCache(1 << 14)
 	var want string
 	for round := 0; round < 2; round++ {
-		ec := &exec.Context{Parallelism: 4, SeqThreshold: 1, SatCache: cache}
+		// Force a non-vector plan: this test exercises the sat cache, and
+		// the vector fast path would decide these spatial pairs without
+		// ever consulting the oracle.
+		ec := &exec.Context{Parallelism: 4, SeqThreshold: 1, SatCache: cache, PlanMode: exec.PlanSweep}
 		out, err := JoinCtx(ec, r1, r2b)
 		if err != nil {
 			t.Fatal(err)

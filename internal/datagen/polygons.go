@@ -1,0 +1,183 @@
+package datagen
+
+// Polygon-shaped spatial workloads for the vector fast path
+// (internal/vector): tuples whose constraint parts are exact convex
+// polygons — the eligible shape — plus concave polygons triangulated
+// into convex pieces, and deliberately ineligible shapes (half-open
+// strips) that exercise the FM fallback. The generators share the
+// BoxRelation schema (one relational string id, constraint attributes x
+// and y) so the polygon workloads compose with every box workload.
+
+import (
+	"math"
+	"math/rand"
+
+	"cdb/internal/constraint"
+	"cdb/internal/convert"
+	"cdb/internal/geometry"
+	"cdb/internal/rational"
+	"cdb/internal/relation"
+	"cdb/internal/schema"
+)
+
+// spatialSchema is the shared schema of the box and polygon workloads.
+func spatialSchema() schema.Schema {
+	return schema.MustNew(schema.Rel("id", schema.String), schema.Con("x"), schema.Con("y"))
+}
+
+// convexConjunction draws one random convex polygon around (cx, cy): the
+// hull of 3-7 integer points within ±spread of the center, converted to
+// a conjunction over (x, y). Degenerate draws (collinear, coincident)
+// retry; the loop terminates with probability 1 for spread ≥ 2.
+func convexConjunction(rng *rand.Rand, cx, cy, spread float64) constraint.Conjunction {
+	for {
+		pts := make([]geometry.Point, 3+rng.Intn(5))
+		for i := range pts {
+			pts[i] = geometry.Pt(
+				int64(math.Round(cx+(rng.Float64()*2-1)*spread)),
+				int64(math.Round(cy+(rng.Float64()*2-1)*spread)))
+		}
+		hull, err := geometry.ConvexHull(pts)
+		if err != nil {
+			continue
+		}
+		j, err := convert.ConvexPolygonToConjunction(hull, "x", "y")
+		if err != nil {
+			continue
+		}
+		return j
+	}
+}
+
+// starConjunctions draws one random star-shaped concave polygon around
+// (cx, cy) — spikes alternating between an outer and an inner radius —
+// and triangulates it into convex conjunctions by ear clipping. The
+// rounding to integer vertices can degenerate the ring, so bad draws
+// retry.
+func starConjunctions(rng *rand.Rand, cx, cy, spread float64) []constraint.Conjunction {
+	for {
+		spikes := 3 + rng.Intn(3)
+		outer := spread
+		inner := spread * (0.25 + rng.Float64()*0.35)
+		phase := rng.Float64() * 2 * math.Pi
+		pts := make([]geometry.Point, 0, 2*spikes)
+		for i := 0; i < 2*spikes; i++ {
+			r := outer
+			if i%2 == 1 {
+				r = inner
+			}
+			a := phase + float64(i)*math.Pi/float64(spikes)
+			pts = append(pts, geometry.Pt(
+				int64(math.Round(cx+r*math.Cos(a))),
+				int64(math.Round(cy+r*math.Sin(a)))))
+		}
+		poly, err := geometry.NewPolygon(pts)
+		if err != nil {
+			continue
+		}
+		js, err := convert.PolygonToConjunctions(poly, "x", "y")
+		if err != nil || len(js) == 0 {
+			continue
+		}
+		return js
+	}
+}
+
+// PolygonRelation is the polygon analogue of ClusteredBoxRelation: n
+// tuples whose constraint parts are random convex polygons gathered
+// around `clusters` shared centers, with an all-NULL relational part.
+// Every tuple is eligible for the vector fast path by construction.
+// centerSeed draws the centers independently of p.Seed, exactly like
+// ClusteredBoxRelation, so two relations with different p.Seed but the
+// same centerSeed overlap cluster by cluster. Deterministic in both
+// seeds.
+func PolygonRelation(p Params, n, clusters int, spread float64, centerSeed int64) *relation.Relation {
+	if clusters < 1 {
+		clusters = 1
+	}
+	crng := rand.New(rand.NewSource(centerSeed))
+	type center struct{ x, y float64 }
+	centers := make([]center, clusters)
+	for i := range centers {
+		centers[i] = center{spread + crng.Float64()*p.CoordMax, spread + crng.Float64()*p.CoordMax}
+	}
+	rng := rand.New(rand.NewSource(p.Seed + 7))
+	r := relation.New(spatialSchema())
+	for i := 0; i < n; i++ {
+		c := centers[rng.Intn(clusters)]
+		r.MustAdd(relation.NewTuple(nil, convexConjunction(rng, c.x, c.y, spread)))
+	}
+	return r
+}
+
+// ConcavePolygonRelation builds concave star-shaped polygons around
+// shared cluster centers and emits their convex triangulation pieces as
+// tuples — the canonical "exact polygon geometry stored as constraint
+// tuples" workload. Every piece is vector-eligible; a whole polygon is
+// the union of its pieces. Stops once n tuples are emitted (the last
+// polygon's pieces may be truncated). Deterministic in both seeds.
+func ConcavePolygonRelation(p Params, n, clusters int, spread float64, centerSeed int64) *relation.Relation {
+	if clusters < 1 {
+		clusters = 1
+	}
+	crng := rand.New(rand.NewSource(centerSeed))
+	type center struct{ x, y float64 }
+	centers := make([]center, clusters)
+	for i := range centers {
+		centers[i] = center{spread + crng.Float64()*p.CoordMax, spread + crng.Float64()*p.CoordMax}
+	}
+	rng := rand.New(rand.NewSource(p.Seed + 8))
+	r := relation.New(spatialSchema())
+	for r.Len() < n {
+		c := centers[rng.Intn(clusters)]
+		for _, j := range starConjunctions(rng, c.x, c.y, spread) {
+			if r.Len() >= n {
+				break
+			}
+			r.MustAdd(relation.NewTuple(nil, j))
+		}
+	}
+	return r
+}
+
+// RandomPolygonRelation draws a small spatial relation for the
+// differential oracle's spatial mode: up to maxTuples tuples over the
+// box/polygon schema whose constraint parts mix vector-eligible convex
+// polygons (most), triangulated concave-star pieces, and deliberately
+// ineligible half-open strips (the FM-fallback shape). Coordinates stay
+// small (centers in [4, 16]) so the harness's witness points and random
+// selection constants actually interact with the regions. About a third
+// of the tuples carry a relational id from a 3-value pool, so the
+// partitioned paths run too.
+func RandomPolygonRelation(rng *rand.Rand, maxTuples int) *relation.Relation {
+	r := relation.New(spatialSchema())
+	n := 1 + rng.Intn(maxTuples)
+	addTuple := func(j constraint.Conjunction) {
+		var rvals map[string]relation.Value
+		if rng.Intn(3) == 0 {
+			rvals = map[string]relation.Value{"id": relation.Str([]string{"a", "b", "c"}[rng.Intn(3)])}
+		}
+		r.MustAdd(relation.NewTuple(rvals, j))
+	}
+	for r.Len() < n {
+		cx, cy := 4+rng.Float64()*12, 4+rng.Float64()*12
+		switch roll := rng.Intn(10); {
+		case roll < 6: // convex polygon: the eligible fast-path shape
+			addTuple(convexConjunction(rng, cx, cy, 2+rng.Float64()*4))
+		case roll < 8: // concave star, triangulated into eligible pieces
+			for _, j := range starConjunctions(rng, cx, cy, 3+rng.Float64()*4) {
+				if r.Len() >= n {
+					break
+				}
+				addTuple(j)
+			}
+		default: // half-open strip: bounded in x only, FM-fallback shape
+			lo := int64(math.Round(cx - 3))
+			addTuple(constraint.And(
+				constraint.GeConst("x", rational.FromInt(lo)),
+				constraint.LeConst("x", rational.FromInt(lo+int64(1+rng.Intn(6)))),
+				constraint.GeConst("y", rational.FromInt(int64(math.Round(cy-3))))))
+		}
+	}
+	return r
+}

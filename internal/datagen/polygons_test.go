@@ -1,0 +1,64 @@
+package datagen
+
+import (
+	"math/rand"
+	"testing"
+
+	"cdb/internal/vector"
+)
+
+func TestPolygonRelationEligible(t *testing.T) {
+	p := Scaled(100)
+	r := PolygonRelation(p, 40, 4, 30, 99)
+	if r.Len() != 40 {
+		t.Fatalf("len = %d, want 40", r.Len())
+	}
+	for i, tu := range r.Tuples() {
+		if vector.FormOf(tu.Constraint().Canon()) == nil {
+			t.Errorf("tuple %d not vector-eligible: %s", i, tu.Constraint())
+		}
+	}
+	if PolygonRelation(p, 40, 4, 30, 99).String() != r.String() {
+		t.Error("PolygonRelation not deterministic")
+	}
+}
+
+func TestConcavePolygonRelationEligible(t *testing.T) {
+	p := Scaled(100)
+	r := ConcavePolygonRelation(p, 30, 3, 25, 99)
+	if r.Len() != 30 {
+		t.Fatalf("len = %d, want 30", r.Len())
+	}
+	for i, tu := range r.Tuples() {
+		if vector.FormOf(tu.Constraint().Canon()) == nil {
+			t.Errorf("piece %d not vector-eligible: %s", i, tu.Constraint())
+		}
+	}
+	if ConcavePolygonRelation(p, 30, 3, 25, 99).String() != r.String() {
+		t.Error("ConcavePolygonRelation not deterministic")
+	}
+}
+
+func TestRandomPolygonRelationShape(t *testing.T) {
+	eligible, fallback := 0, 0
+	for seed := int64(0); seed < 30; seed++ {
+		r := RandomPolygonRelation(rand.New(rand.NewSource(seed)), 5)
+		if r.Len() < 1 || r.Len() > 5 {
+			t.Fatalf("seed %d: len = %d, want 1..5", seed, r.Len())
+		}
+		for _, tu := range r.Tuples() {
+			if vector.FormOf(tu.Constraint().Canon()) != nil {
+				eligible++
+			} else {
+				fallback++
+			}
+		}
+		again := RandomPolygonRelation(rand.New(rand.NewSource(seed)), 5)
+		if again.String() != r.String() {
+			t.Fatalf("seed %d: not reproducible", seed)
+		}
+	}
+	if eligible == 0 || fallback == 0 {
+		t.Fatalf("workload mix degenerate: %d eligible, %d fallback tuples", eligible, fallback)
+	}
+}

@@ -175,12 +175,16 @@ func (c *Context) SweepSize() int {
 // are the values of Context.PlanMode (where PlanAuto means "cost model
 // decides") and of the per-operator Strategy stats column / strategy=
 // EXPLAIN label (where the auto decision has been resolved to one of the
-// three concrete strategies).
+// concrete strategies). PlanVector is the vector fast path: candidate
+// enumeration is unchanged, but the refine stage decides satisfiability
+// by exact polygon clipping (internal/vector) on the eligible pairs
+// instead of Fourier–Motzkin, falling back per pair otherwise.
 const (
-	PlanAuto  = "auto"
-	PlanDense = "dense"
-	PlanSweep = "sweep"
-	PlanIndex = "index"
+	PlanAuto   = "auto"
+	PlanDense  = "dense"
+	PlanSweep  = "sweep"
+	PlanIndex  = "index"
+	PlanVector = "vector"
 )
 
 // Plan returns the effective planning mode: PlanAuto on the nil Context
@@ -197,7 +201,7 @@ func (c *Context) Plan() string {
 // the -plan knob with this before it reaches a Context.
 func ValidPlanMode(s string) bool {
 	switch s {
-	case "", PlanAuto, PlanDense, PlanSweep, PlanIndex:
+	case "", PlanAuto, PlanDense, PlanSweep, PlanIndex, PlanVector:
 		return true
 	}
 	return false

@@ -13,20 +13,23 @@ import (
 
 // OpStats is one operator invocation's execution record.
 type OpStats struct {
-	Op          string        // operator name: select, project, join, intersect, union, rename, difference
-	TuplesIn    int64         // input tuples (both sides summed for binary operators)
-	TuplesOut   int64         // output tuples
-	SatChecks   int64         // satisfiability decisions made
-	PrunedUnsat int64         // candidates discarded: filter-stage rejects plus unsatisfiable sat decisions
-	PairsTotal  int64         // binary operators: candidate tuple pairs enumerable (the dense n·m space)
-	PairsPruned int64         // binary operators: pairs rejected by the filter stage before any constraint work
-	CacheHits   int64         // sat decisions answered by the memoized engine
-	CacheMisses int64         // sat decisions that ran the raw eliminator (cache enabled)
-	FMDecisions int64         // raw Fourier-Motzkin eliminator runs during the operator (process-wide delta; attribution is exact when one operator runs at a time)
-	EstPairs    int64         // binary operators: the planner's pre-execution estimate of surviving candidate pairs (upper bound; compare to PairsTotal-PairsPruned)
-	Strategy    string        // binary operators: the pairing strategy that ran (dense, sweep, index); empty for unary operators
-	Wall        time.Duration // wall time of the operator
-	Parallel    bool          // whether the worker pool was used
+	Op           string        // operator name: select, project, join, intersect, union, rename, difference
+	TuplesIn     int64         // input tuples (both sides summed for binary operators)
+	TuplesOut    int64         // output tuples
+	SatChecks    int64         // satisfiability decisions made
+	PrunedUnsat  int64         // candidates discarded: filter-stage rejects plus unsatisfiable sat decisions
+	PairsTotal   int64         // binary operators: candidate tuple pairs enumerable (the dense n·m space)
+	PairsPruned  int64         // binary operators: pairs rejected by the filter stage before any constraint work
+	CacheHits    int64         // sat decisions answered by the memoized engine
+	CacheMisses  int64         // sat decisions that ran the raw eliminator (cache enabled)
+	FMDecisions  int64         // raw Fourier-Motzkin eliminator runs during the operator (process-wide delta; attribution is exact when one operator runs at a time)
+	EstPairs     int64         // binary operators: the planner's pre-execution estimate of surviving candidate pairs (upper bound; compare to PairsTotal-PairsPruned)
+	Strategy     string        // binary operators: the pairing strategy that ran (dense, sweep, index, vector); empty for unary operators
+	VectorHits   int64         // sat decisions answered by the vector fast path (exact polygon clipping, no FM)
+	VectorFalls  int64         // vector-path fallbacks: decisions the fast path could not take (ineligible form, extra variable, strict-degenerate) and handed to FM
+	FloatRejects int64         // vector-path pairs rejected by the outward-rounded float bounding-box filter before any exact arithmetic
+	Wall         time.Duration // wall time of the operator
+	Parallel     bool          // whether the worker pool was used
 }
 
 // OpRecorder accumulates one operator invocation's statistics. Its
@@ -34,21 +37,54 @@ type OpStats struct {
 // every method is a no-op on the nil receiver, so operators record
 // unconditionally whether or not a Context is present.
 type OpRecorder struct {
-	c           *Context
-	op          string
-	tuplesIn    int64
-	start       time.Time
-	fmStart     int64
-	span        *obs.Span
-	satChecks   atomic.Int64
-	pruned      atomic.Int64
-	pairsTotal  atomic.Int64
-	pairsPruned atomic.Int64
-	tuplesOut   atomic.Int64
-	cacheHits   atomic.Int64
-	cacheMisses atomic.Int64
-	estPairs    int64  // written by Pairing before the fan-out starts
-	strategy    string // written by Pairing before the fan-out starts
+	c            *Context
+	op           string
+	tuplesIn     int64
+	start        time.Time
+	fmStart      int64
+	span         *obs.Span
+	satChecks    atomic.Int64
+	pruned       atomic.Int64
+	pairsTotal   atomic.Int64
+	pairsPruned  atomic.Int64
+	tuplesOut    atomic.Int64
+	cacheHits    atomic.Int64
+	cacheMisses  atomic.Int64
+	vectorHits   atomic.Int64
+	vectorFalls  atomic.Int64
+	floatRejects atomic.Int64
+	estPairs     int64  // written by Pairing before the fan-out starts
+	strategy     string // written by Pairing before the fan-out starts
+}
+
+// VectorHit records one satisfiability decision answered geometrically
+// by the vector fast path, with floatReject reporting that the cheap
+// float bounding-box filter already decided it. It counts into vec (and
+// float-rej, and pruned on unsat) but NOT into sat-checks: sat-checks
+// means decisions routed through the sat oracle (cache + eliminator),
+// preserving the invariant cache-hits + cache-misses = sat-checks
+// whenever a cache is configured. The total decision count of an
+// operator is therefore sat-checks + vec.
+func (r *OpRecorder) VectorHit(sat, floatReject bool) {
+	if r == nil {
+		return
+	}
+	r.vectorHits.Add(1)
+	if floatReject {
+		r.floatRejects.Add(1)
+	}
+	if !sat {
+		r.pruned.Add(1)
+	}
+}
+
+// VectorFallback records one decision the vector fast path declined
+// (caller then decides through Satisfiable, which does its own counting).
+func (r *OpRecorder) VectorFallback() {
+	if r == nil {
+		return
+	}
+	r.vectorFalls.Add(1)
 }
 
 // StartOp opens a recorder for one operator invocation. Returns nil (a
@@ -165,20 +201,23 @@ func (r *OpRecorder) Done(parallel bool) {
 		return
 	}
 	s := OpStats{
-		Op:          r.op,
-		TuplesIn:    r.tuplesIn,
-		TuplesOut:   r.tuplesOut.Load(),
-		SatChecks:   r.satChecks.Load(),
-		PrunedUnsat: r.pruned.Load(),
-		PairsTotal:  r.pairsTotal.Load(),
-		PairsPruned: r.pairsPruned.Load(),
-		CacheHits:   r.cacheHits.Load(),
-		CacheMisses: r.cacheMisses.Load(),
-		FMDecisions: constraint.DecisionCount() - r.fmStart,
-		EstPairs:    r.estPairs,
-		Strategy:    r.strategy,
-		Wall:        time.Since(r.start),
-		Parallel:    parallel,
+		Op:           r.op,
+		TuplesIn:     r.tuplesIn,
+		TuplesOut:    r.tuplesOut.Load(),
+		SatChecks:    r.satChecks.Load(),
+		PrunedUnsat:  r.pruned.Load(),
+		PairsTotal:   r.pairsTotal.Load(),
+		PairsPruned:  r.pairsPruned.Load(),
+		CacheHits:    r.cacheHits.Load(),
+		CacheMisses:  r.cacheMisses.Load(),
+		FMDecisions:  constraint.DecisionCount() - r.fmStart,
+		EstPairs:     r.estPairs,
+		Strategy:     r.strategy,
+		VectorHits:   r.vectorHits.Load(),
+		VectorFalls:  r.vectorFalls.Load(),
+		FloatRejects: r.floatRejects.Load(),
+		Wall:         time.Since(r.start),
+		Parallel:     parallel,
 	}
 	if r.span != nil {
 		setNonZero := func(k string, v int64) {
@@ -195,6 +234,9 @@ func (r *OpRecorder) Done(parallel bool) {
 		setNonZero("hit", s.CacheHits)
 		setNonZero("miss", s.CacheMisses)
 		setNonZero("fm", s.FMDecisions)
+		setNonZero("vec", s.VectorHits)
+		setNonZero("vec_fallback", s.VectorFalls)
+		setNonZero("float_reject", s.FloatRejects)
 		if s.Strategy != "" {
 			// The planner's view of this operator: chosen strategy,
 			// estimated surviving pairs, and what actually survived —
@@ -219,6 +261,9 @@ func (r *OpRecorder) Done(parallel bool) {
 		addOpMetric(m, "cqa_pairs_pruned_total", "Candidate pairs rejected by the filter stage (partition + envelope) before any satisfiability work.", r.op, s.PairsPruned)
 		addOpMetric(m, "cdb_op_cache_hits_total", "Sat-cache hits per operator.", r.op, s.CacheHits)
 		addOpMetric(m, "cdb_op_cache_misses_total", "Sat-cache misses per operator.", r.op, s.CacheMisses)
+		addOpMetric(m, "cdb_vector_hits_total", "Satisfiability decisions answered by the vector fast path (exact polygon clipping).", r.op, s.VectorHits)
+		addOpMetric(m, "cdb_vector_fallbacks_total", "Vector fast-path fallbacks to the Fourier-Motzkin refine stage.", r.op, s.VectorFalls)
+		addOpMetric(m, "cdb_vector_float_rejects_total", "Vector fast-path pairs rejected by the outward-rounded float bbox filter.", r.op, s.FloatRejects)
 		m.HistogramVec("cdb_op_seconds", "Operator wall time.", "op", obs.DefLatencyBuckets).
 			With(r.op).Observe(s.Wall.Seconds())
 	}
@@ -277,6 +322,9 @@ func (c *Context) Summary() []OpStats {
 		out[i].CacheHits += s.CacheHits
 		out[i].CacheMisses += s.CacheMisses
 		out[i].FMDecisions += s.FMDecisions
+		out[i].VectorHits += s.VectorHits
+		out[i].VectorFalls += s.VectorFalls
+		out[i].FloatRejects += s.FloatRejects
 		out[i].EstPairs += s.EstPairs
 		if out[i].Strategy != s.Strategy {
 			// Same operator ran under different strategies across the
@@ -328,7 +376,7 @@ func FlightRollup(ops []OpStats) []obs.OpRoll {
 func FormatStats(stats []OpStats) string {
 	var b strings.Builder
 	w := tabwriter.NewWriter(&b, 2, 0, 2, ' ', 0)
-	fmt.Fprintln(w, "operator\tin\tout\tpairs\tfiltered\test\tsat-checks\tpruned\tcache-hit\tcache-miss\tfm\twall\tmode\tstrategy")
+	fmt.Fprintln(w, "operator\tin\tout\tpairs\tfiltered\test\tsat-checks\tpruned\tcache-hit\tcache-miss\tfm\tvec\tvec-fb\tfloat-rej\twall\tmode\tstrategy")
 	for _, s := range stats {
 		mode := "seq"
 		if s.Parallel {
@@ -338,10 +386,11 @@ func FormatStats(stats []OpStats) string {
 		if strategy == "" {
 			strategy = "-"
 		}
-		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%s\t%s\t%s\n",
+		fmt.Fprintf(w, "%s\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%s\t%s\t%s\n",
 			s.Op, s.TuplesIn, s.TuplesOut, s.PairsTotal, s.PairsPruned, s.EstPairs,
 			s.SatChecks, s.PrunedUnsat,
 			s.CacheHits, s.CacheMisses, s.FMDecisions,
+			s.VectorHits, s.VectorFalls, s.FloatRejects,
 			s.Wall.Round(time.Microsecond), mode, strategy)
 	}
 	w.Flush()

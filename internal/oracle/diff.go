@@ -34,10 +34,12 @@ var AllOps = []string{"select", "project", "join", "intersect", "union", "rename
 // sensible default; Seed 0 really means seed 0 (runs are reproducible
 // from the printed seed either way).
 type Config struct {
-	Cases     int   // random cases to run (default 100)
-	Seed      int64 // base seed; case i derives its own rng from it
-	Workers   int   // engine worker-pool size (0 = GOMAXPROCS)
-	MaxTuples int   // max tuples per random input relation (default 5)
+	Cases     int    // random cases to run (default 100)
+	Seed      int64  // base seed; case i derives its own rng from it
+	Workers   int    // engine worker-pool size (0 = GOMAXPROCS)
+	MaxTuples int    // max tuples per random input relation (default 5)
+	Plan      string // engine PlanMode ("" = auto); "vector" forces the vector fast path
+	Spatial   bool   // draw polygon-shaped spatial inputs instead of random heterogeneous ones
 	Ops       []string
 	Witness   WitnessOptions
 }
@@ -98,12 +100,13 @@ func Diff(cfg Config) (*Report, error) {
 		rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*1_000_003))
 		op := cfg.Ops[i%len(cfg.Ops)]
 		rep.PerOp[op]++
-		a, r1, r2, err := randomCase(rng, op, cfg.MaxTuples)
+		a, r1, r2, err := randomCase(rng, op, cfg.MaxTuples, cfg.Spatial)
 		if err != nil {
 			return nil, fmt.Errorf("oracle: case %d: %w", i, err)
 		}
 		ec := exec.New(cfg.Workers)
 		ec.SeqThreshold = 1
+		ec.PlanMode = cfg.Plan
 		eng, err := RunEngine(ec, a, r1, r2)
 		if err != nil {
 			rep.Failures = append(rep.Failures, Failure{Case: i, Op: op, Apply: a.String(),
@@ -122,7 +125,7 @@ func Diff(cfg Config) (*Report, error) {
 				break
 			}
 			if engIn != oraIn {
-				m1, m2 := minimize(a, r1, r2, p, cfg.Workers)
+				m1, m2 := minimize(a, r1, r2, p, cfg.Workers, cfg.Plan)
 				rep.Failures = append(rep.Failures, Failure{Case: i, Op: op, Apply: a.String(),
 					Point: renderPoint(p), Engine: engIn, Oracle: oraIn,
 					R1: m1.String(), R2: renderR2(m2)})
@@ -158,17 +161,22 @@ func RunEngine(ec *exec.Context, a Apply, r1, r2 *relation.Relation) (*relation.
 }
 
 // randomCase draws one (application, inputs) case for the operator.
-func randomCase(rng *rand.Rand, op string, maxTuples int) (Apply, *relation.Relation, *relation.Relation, error) {
+func randomCase(rng *rand.Rand, op string, maxTuples int, spatial bool) (Apply, *relation.Relation, *relation.Relation, error) {
 	a := Apply{Op: op}
+	input := func() *relation.Relation {
+		if spatial {
+			return datagen.RandomPolygonRelation(rng, maxTuples)
+		}
+		return datagen.RandomRelation(rng, datagen.RandomSchema(rng), maxTuples)
+	}
 	switch op {
 	case "select":
-		s := datagen.RandomSchema(rng)
-		r1 := datagen.RandomRelation(rng, s, maxTuples)
-		a.Cond = randomCondition(rng, s)
+		r1 := input()
+		a.Cond = randomCondition(rng, r1.Schema())
 		return a, r1, nil, nil
 	case "project":
-		s := datagen.RandomSchema(rng)
-		r1 := datagen.RandomRelation(rng, s, maxTuples)
+		r1 := input()
+		s := r1.Schema()
 		names := s.Names()
 		// A random non-empty subset, in schema order.
 		for len(a.Cols) == 0 {
@@ -181,16 +189,24 @@ func randomCase(rng *rand.Rand, op string, maxTuples int) (Apply, *relation.Rela
 		}
 		return a, r1, nil, nil
 	case "rename":
-		s := datagen.RandomSchema(rng)
-		r1 := datagen.RandomRelation(rng, s, maxTuples)
-		names := s.Names()
+		r1 := input()
+		names := r1.Schema().Names()
 		a.Old = names[rng.Intn(len(names))]
 		a.New = "r" + a.Old
 		return a, r1, nil, nil
 	case "join":
+		if spatial {
+			// Spatial relations share one schema, so the natural join is
+			// the intersection — exactly the pairing the vector fast path
+			// accelerates.
+			return a, input(), input(), nil
+		}
 		r1, r2, err := datagen.RandomJoinPair(rng, maxTuples)
 		return a, r1, r2, err
 	case "intersect", "union", "difference":
+		if spatial {
+			return a, input(), input(), nil
+		}
 		r1, r2 := datagen.RandomRelationPair(rng, maxTuples)
 		return a, r1, r2, nil
 	default:
@@ -291,10 +307,11 @@ func witnessesFor(rng *rand.Rand, a Apply, r1, r2 *relation.Relation, opts Witne
 // minimize greedily deletes tuples from both inputs while the engine and
 // the oracle still disagree at point p, converging on a near-minimal
 // counterexample (typically a single tuple pair).
-func minimize(a Apply, r1, r2 *relation.Relation, p relation.Point, workers int) (*relation.Relation, *relation.Relation) {
+func minimize(a Apply, r1, r2 *relation.Relation, p relation.Point, workers int, plan string) (*relation.Relation, *relation.Relation) {
 	disagrees := func(c1, c2 *relation.Relation) bool {
 		ec := exec.New(workers)
 		ec.SeqThreshold = 1
+		ec.PlanMode = plan
 		out, err := RunEngine(ec, a, c1, c2)
 		if err != nil {
 			return false

@@ -41,3 +41,26 @@ func TestDiffReproducible(t *testing.T) {
 			a.Points, b.Points, len(a.Failures), len(b.Failures))
 	}
 }
+
+// TestDiffSpatialVector drives the harness in spatial mode with the
+// vector fast path forced: polygon-shaped inputs (convex, triangulated
+// concave, and fallback strips), every decision the clipper can take
+// going through exact polygon geometry. Agreement with the pointwise
+// oracle here is the vector path's semantic acceptance test.
+func TestDiffSpatialVector(t *testing.T) {
+	for _, plan := range []string{"vector", "auto"} {
+		rep, err := Diff(Config{Cases: 120, Seed: 3, Spatial: true, Plan: plan})
+		if err != nil {
+			t.Fatalf("plan=%s: %v", plan, err)
+		}
+		if rep.Points == 0 {
+			t.Fatalf("plan=%s: no witness points compared", plan)
+		}
+		for _, f := range rep.Failures {
+			t.Errorf("plan=%s seed=%d: %s", plan, rep.Seed, f.String())
+		}
+		if len(rep.Failures) > 3 {
+			t.Fatalf("plan=%s: %d failures (showing first 3)", plan, len(rep.Failures))
+		}
+	}
+}

@@ -647,7 +647,7 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	if opts.Plan != nil && !exec.ValidPlanMode(*opts.Plan) {
 		writeError(w, http.StatusBadRequest,
-			fmt.Sprintf("invalid plan %q (want auto, dense, sweep or index)", *opts.Plan))
+			fmt.Sprintf("invalid plan %q (want auto, dense, sweep, index or vector)", *opts.Plan))
 		return
 	}
 	var (

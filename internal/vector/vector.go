@@ -1,0 +1,251 @@
+// Package vector is the vector-representation fast path of §6: it lets
+// purely spatial constraint tuples *execute* as exact polygon geometry
+// instead of through Fourier–Motzkin elimination.
+//
+// A conjunction is vector-eligible when it is a bounded, full-dimensional,
+// closed region over exactly two variables — every atom a non-strict (Le)
+// linear inequality mentioning at least one of them. For such a
+// conjunction the region is a convex polygon, enumerated exactly by
+// convert.ClosureVertices and cached on the canonical form via
+// constraint.Memo (the same shared-box pattern as the envelope).
+// Eligibility itself is decided geometrically — boundedness by a
+// recession-cone test, satisfiability by the existence of feasible
+// boundary intersections — so the probe makes zero FM decisions.
+//
+// On top of the exact polygon, every Form carries a float64 bounding box
+// with outward-directed rounding: cheap float comparisons reject disjoint
+// pairs soundly, exact rational clipping (Sutherland–Hodgman) confirms
+// the rest — filter-and-refine one level below the envelope filter.
+//
+// The decision procedures (PairSat, SatExtras) replace only
+// *satisfiability decisions*. The constraint forms the operators emit are
+// built exactly as on the FM path, so outputs stay byte-identical.
+package vector
+
+import (
+	"math"
+
+	"cdb/internal/constraint"
+	"cdb/internal/convert"
+	"cdb/internal/geometry"
+	"cdb/internal/rational"
+)
+
+// Form is the cached vector form of a vector-eligible conjunction: the
+// exact convex polygon of its region, the polygon's edge half-planes
+// (ready for clipping), and a float64 bounding box rounded outward so
+// that float disjointness implies exact disjointness.
+type Form struct {
+	XVar, YVar string // the two spatial variables, sorted
+	Poly       geometry.Polygon
+	halves     []geometry.HalfPlane
+
+	// Outward-rounded float bounds: MinX <= exact minX, MaxX >= exact
+	// maxX, likewise for Y. Never NaN.
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// FormOf returns the vector form of j, or nil when j is not
+// vector-eligible. The result is memoized on j's canonical form; on
+// non-canonical conjunctions it is computed uncached. FormOf never makes
+// a Fourier–Motzkin decision.
+func FormOf(j constraint.Conjunction) *Form {
+	v := j.Memo(func() any { return computeForm(j) })
+	f, _ := v.(*Form)
+	return f
+}
+
+func computeForm(j constraint.Conjunction) *Form {
+	vars := j.Vars()
+	if len(vars) != 2 {
+		return nil
+	}
+	x, y := vars[0], vars[1]
+	cs := j.Constraints()
+	if len(cs) < 3 {
+		return nil // fewer than 3 half-planes cannot bound a 2-D region
+	}
+	// Every atom must be a closed half-plane over (x, y): Op Le with a
+	// non-zero normal. Strict or equality atoms make the region non-closed
+	// or degenerate — the FM path handles those.
+	normals := make([]geometry.Point, len(cs))
+	for i, c := range cs {
+		if c.Op != constraint.Le {
+			return nil
+		}
+		a, b := c.Expr.Coef(x), c.Expr.Coef(y)
+		if a.IsZero() && b.IsZero() {
+			return nil // constant atom (e.g. the False sentinel 0 < 0)
+		}
+		normals[i] = geometry.Point{X: a, Y: b}
+	}
+	if unboundedDirection(normals) {
+		return nil
+	}
+	// Bounded: the region, if non-empty, is the convex hull of the
+	// feasible pairwise boundary intersections (every extreme point of a
+	// bounded polyhedron is the intersection of two active constraint
+	// boundaries). No feasible intersection means the closed region is
+	// empty; fewer than 3 hull vertices means it is degenerate (a point or
+	// segment). Both fall back to the FM path.
+	verts := convert.ClosureVertices(j, x, y)
+	if len(verts) < 3 {
+		return nil
+	}
+	hull, err := geometry.ConvexHull(verts)
+	if err != nil {
+		return nil // collinear vertices: degenerate region
+	}
+	f := &Form{XVar: x, YVar: y, Poly: hull, halves: geometry.EdgeHalfPlanes(hull)}
+	minX, minY, maxX, maxY := hull.BBox()
+	f.MinX, f.MinY = floatDown(minX), floatDown(minY)
+	f.MaxX, f.MaxY = floatUp(maxX), floatUp(maxY)
+	return f
+}
+
+// unboundedDirection reports whether the recession cone
+// {d : nᵢ·d <= 0 for all i} contains a non-zero direction — i.e. whether
+// the region (if non-empty) is unbounded. In two dimensions the cone, if
+// non-trivial, contains a boundary direction of some constraint (a cone
+// that is a half-plane, a wedge or a single ray always has an extreme or
+// boundary ray on some constraint line), so checking the two
+// perpendiculars of every normal is complete.
+func unboundedDirection(normals []geometry.Point) bool {
+	for _, n := range normals {
+		for _, d := range []geometry.Point{
+			{X: n.Y, Y: n.X.Neg()},
+			{X: n.Y.Neg(), Y: n.X},
+		} {
+			if d.X.IsZero() && d.Y.IsZero() {
+				continue
+			}
+			ok := true
+			for _, m := range normals {
+				if m.Dot(d).Sign() > 0 {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// floatDown returns a float64 at or below the exact rational; floatUp at
+// or above. Rat.Float64 is within ~1.5 ulp of the exact value (nearest
+// big.Rat conversion, or one int64-to-float division), so four directed
+// ulp steps are a safely conservative outward bound.
+func floatDown(r rational.Rat) float64 {
+	f := r.Float64()
+	for i := 0; i < 4; i++ {
+		f = math.Nextafter(f, math.Inf(-1))
+	}
+	return f
+}
+
+func floatUp(r rational.Rat) float64 {
+	f := r.Float64()
+	for i := 0; i < 4; i++ {
+		f = math.Nextafter(f, math.Inf(1))
+	}
+	return f
+}
+
+// PairSat decides satisfiability of f1 ∧ f2 — the refine step of the
+// pairing operators — entirely in vector form. floatReject reports that
+// the cheap float bounding-box filter already proved the pair disjoint
+// (sound by the outward rounding; the exact clip never runs). Both forms
+// must be over the same variable pair (callers check; it panics
+// otherwise, as a wrong-pair answer would be silently unsound).
+//
+// Both regions are closed, so the decision is exact: the clipped ring is
+// non-empty — even degenerate to a shared edge or corner — if and only if
+// the conjunction is satisfiable.
+func PairSat(f1, f2 *Form) (sat, floatReject bool) {
+	if f1.XVar != f2.XVar || f1.YVar != f2.YVar {
+		panic("vector: PairSat forms over different variable pairs")
+	}
+	if f1.MaxX < f2.MinX || f2.MaxX < f1.MinX || f1.MaxY < f2.MinY || f2.MaxY < f1.MinY {
+		return false, true
+	}
+	ring := f1.Poly.Vertices()
+	for _, h := range f2.halves {
+		ring = geometry.ClipRing(ring, h)
+		if len(ring) == 0 {
+			return false, false
+		}
+	}
+	return true, false
+}
+
+// SatExtras decides satisfiability of f's conjunction extended with extra
+// atoms (select predicates, or the staircase atoms of the difference
+// operator). ok=false means the extras fall outside what the vector path
+// can decide exactly — an extra variable, an unsupported operator, or a
+// strict atom whose truth depends on a degenerate (measure-zero) region —
+// and the caller must fall back to FM.
+//
+// Soundness: the clip runs on the *closed relaxation* of every extra
+// (strict < relaxed to <=, equalities to a pair of opposing <=). An empty
+// clip of the relaxation is exactly unsat. A full-dimensional clip
+// (positive area) is sat even with strict atoms: the strict boundaries
+// are finitely many lines, which cannot cover a region of positive area,
+// so an interior point satisfying every strict atom strictly exists. Only
+// a degenerate clip with strict atoms in play is undecided here.
+// Constant atoms never reach the clip: trivially false decides unsat
+// outright (the relaxation argument would be unsound for them — 0 < 0
+// relaxes to 0 <= 0, which holds everywhere), trivially true ones are
+// skipped.
+func SatExtras(f *Form, extras []constraint.Constraint) (sat, ok bool) {
+	ring := f.Poly.Vertices()
+	strict := false
+	for _, c := range extras {
+		if triv, val := c.IsTrivial(); triv {
+			if !val {
+				return false, true
+			}
+			continue
+		}
+		a, b := c.Expr.Coef(f.XVar), c.Expr.Coef(f.YVar)
+		for _, v := range c.Expr.Vars() {
+			if v != f.XVar && v != f.YVar {
+				return false, false
+			}
+		}
+		k := c.Expr.ConstTerm()
+		h := geometry.HalfPlane{A: a, B: b, C: k}
+		switch c.Op {
+		case constraint.Le:
+			ring = geometry.ClipRing(ring, h)
+		case constraint.Lt:
+			strict = true
+			ring = geometry.ClipRing(ring, h)
+		case constraint.Eq:
+			// An equality is closed: clip by both opposing half-planes. The
+			// result degenerates to (part of) a line, which the no-strict
+			// degenerate rule below still decides exactly.
+			ring = geometry.ClipRing(ring, h)
+			if len(ring) != 0 {
+				ring = geometry.ClipRing(ring, geometry.HalfPlane{A: a.Neg(), B: b.Neg(), C: k.Neg()})
+			}
+		default:
+			return false, false
+		}
+		if len(ring) == 0 {
+			return false, true
+		}
+	}
+	if !geometry.RingArea2(ring).IsZero() {
+		return true, true
+	}
+	// Degenerate result. With no strict atoms every constraint is closed
+	// and the non-empty ring is a witness; with strict atoms the witness
+	// may sit exactly on a strict boundary — undecided here.
+	if strict {
+		return false, false
+	}
+	return true, true
+}

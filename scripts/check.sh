@@ -17,15 +17,15 @@ go test -race ./...
 # operators, the span/metrics plumbing and the snapshot store's
 # commit/fork/release paths are where fresh races would live, and
 # repetition shakes out scheduling-dependent ones cheaply.
-echo '>> go test -race -count=2 ./internal/constraint ./internal/exec ./internal/cqa ./internal/relation ./internal/obs ./internal/server ./internal/snapshot'
-go test -race -count=2 ./internal/constraint ./internal/exec ./internal/cqa ./internal/relation ./internal/obs ./internal/server ./internal/snapshot
+echo '>> go test -race -count=2 ./internal/constraint ./internal/exec ./internal/cqa ./internal/relation ./internal/obs ./internal/server ./internal/snapshot ./internal/vector'
+go test -race -count=2 ./internal/constraint ./internal/exec ./internal/cqa ./internal/relation ./internal/obs ./internal/server ./internal/snapshot ./internal/vector
 
 # Corpus replay: the committed fuzz corpora under testdata/fuzz/ run as
 # ordinary seed inputs here — every input that ever broke the parsers,
 # the canonical kernel or the snapshot WAL stays fixed without a long
 # -fuzz session.
 echo '>> fuzz corpus replay'
-go test -run Fuzz -count=1 ./internal/constraint ./internal/query ./internal/calculus ./internal/snapshot
+go test -run Fuzz -count=1 ./internal/constraint ./internal/query ./internal/calculus ./internal/snapshot ./internal/vector
 
 # CLI smoke: both binaries must build and execute an end-to-end run —
 # cqacdb with the observability flags on, cdbbench on the cqa experiment
@@ -176,4 +176,19 @@ go run ./cmd/cdbbench -expt plan -cqasize 16 -rounds 1 \
 scripts/benchdiff.sh /tmp/cdb_plan_smoke.json /tmp/cdb_plan_smoke.json >/dev/null
 scripts/benchdiff.sh BENCH_plan.json /tmp/cdb_plan_smoke.json 1000000 >/dev/null
 go run ./cmd/cdbbench -expt diff -n 200 -seed 3 -par 2 >/dev/null
+
+# Vector smoke: the vector experiment forces every spatial decision
+# through exact polygon clipping against the pure-FM baseline and fails
+# inside cdbbench unless outputs are byte-identical; benchdiff then
+# self-compares the JSON and shape-guards the committed BENCH_vector.json.
+# The 200-case spatial oracle run drives polygon workloads through the
+# forced vector path against the naive reference evaluator — clipper,
+# float filter, scoped staircase and FM fallback all end to end, zero
+# disagreements allowed.
+echo '>> vector smoke'
+go run ./cmd/cdbbench -expt vector -cqasize 16 -rounds 1 \
+    -json /tmp/cdb_vector_smoke.json >/dev/null
+scripts/benchdiff.sh /tmp/cdb_vector_smoke.json /tmp/cdb_vector_smoke.json >/dev/null
+scripts/benchdiff.sh BENCH_vector.json /tmp/cdb_vector_smoke.json 1000000 >/dev/null
+go run ./cmd/cdbbench -expt diff -n 200 -seed 5 -par 2 -spatial -plan vector >/dev/null
 echo 'OK'
